@@ -1,0 +1,51 @@
+"""ABL1 — spatial index ablation: R-tree vs grid vs brute force.
+
+The Example 5.2 hot loop is a radius query around the user's location;
+this ablation measures the three strategies the kernel offers on the
+large world's store set.  Expected shape: both indexes beat brute force,
+with the gap growing with the point count.
+"""
+
+import time
+
+from conftest import build_engine_at_scale
+
+from repro.geometry import GridIndex, STRtree, brute_force_within_distance
+
+RADIUS = 5_000.0
+
+
+def _entries(world):
+    return [(s.location, s.name) for s in world.stores]
+
+
+def test_abl1_spatial_index(benchmark):
+    world, _star, _engine = build_engine_at_scale("large")
+    entries = _entries(world)
+    center = world.cities[0].location
+    tree = STRtree(entries)
+
+    result = benchmark(tree.within_distance, center, RADIUS)
+    expected = sorted(brute_force_within_distance(entries, center, RADIUS))
+    assert sorted(result) == expected
+
+    print(f"\n[ABL1] radius query strategies over {len(entries)} stores:")
+    print("  strategy     build(ms)   query(ms)   hits")
+    for name, factory in (
+        ("brute", None),
+        ("grid", GridIndex),
+        ("strtree", STRtree),
+    ):
+        start = time.perf_counter()
+        index = factory(entries) if factory else None
+        t_build = (time.perf_counter() - start) * 1000
+
+        start = time.perf_counter()
+        for _ in range(20):
+            if index is None:
+                hits = brute_force_within_distance(entries, center, RADIUS)
+            else:
+                hits = index.within_distance(center, RADIUS)
+        t_query = (time.perf_counter() - start) * 1000 / 20
+        assert sorted(hits) == expected
+        print(f"  {name:<10} {t_build:9.2f}  {t_query:9.3f}   {len(hits)}")

@@ -1,0 +1,42 @@
+"""EX51 — execute the addSpatiality schema rule (Example 5.1)."""
+
+import pytest
+
+from repro.data import (
+    ADD_SPATIALITY,
+    WorldGeoSource,
+    build_regional_manager_profile,
+    build_sales_star,
+)
+from repro.prml import Evaluator, RuntimeContext, parse_rule
+
+
+def test_ex51_schema_rule(benchmark, world, user_schema):
+    rule = parse_rule(ADD_SPATIALITY)
+    source = WorldGeoSource(world)
+
+    def run_schema_rule():
+        star = build_sales_star(world)
+        profile = build_regional_manager_profile(user_schema)
+        context = RuntimeContext(
+            user_profile=profile,
+            md_schema=star.schema,
+            geomd_schema=star.schema,
+            star=star,
+            geo_source=source,
+        )
+        return Evaluator(context).execute(rule), star
+
+    (outcome, star) = benchmark(run_schema_rule)
+    assert outcome.layers_added == ["Airport"]
+    assert outcome.levels_spatialized == ["Store.Store"]
+    assert len(star.layer_table("Airport")) == len(world.airports)
+    store = star.dimension_table("Store").members("Store")[0]
+    assert store.geometry is not None
+    print("\n[EX51] addSpatiality executed:")
+    print(
+        f"  layers added={outcome.layers_added}, "
+        f"levels spatialized={outcome.levels_spatialized}, "
+        f"airports loaded={len(star.layer_table('Airport'))}, "
+        f"stores backfilled={star.dimension_table('Store').size('Store')}"
+    )

@@ -1,0 +1,53 @@
+"""EX52 — execute the 5kmStores instance rule (Example 5.2).
+
+Times the distance-filtered selection over the already-spatialized
+warehouse and prints the selection-size series across radii — the
+"shape" the paper implies: a personalized instance much smaller than the
+full SDW.
+"""
+
+from repro.data import build_regional_manager_profile
+from repro.prml import Evaluator, SelectionSet, parse_rule
+
+RADIUS_SWEEP = ("1km", "5km", "20km", "100km")
+
+RULE_TEMPLATE = """\
+Rule:kmStores When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry,
+        SUS.DecisionMaker.dm2session.s2location.geometry) < {radius}) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen
+"""
+
+
+def test_ex52_instance_rule(benchmark, engine, world, user_schema):
+    # Spatialize once via the schema rules (Example 5.1 must run first).
+    profile = build_regional_manager_profile(user_schema)
+    location = world.cities[0].location
+    session = engine.start_session(profile, location=location)
+    context = session.context
+    rule_5km = parse_rule(RULE_TEMPLATE.format(radius="5km"))
+
+    def run_rule():
+        context.selection = SelectionSet()
+        return Evaluator(context).execute(rule_5km)
+
+    outcome = benchmark(run_rule)
+    expected = {
+        s.name
+        for s in world.stores
+        if s.location.distance_to(location) < 5_000.0
+    }
+    assert context.selection.members[("Store", "Store")] == expected
+
+    print("\n[EX52] 5kmStores selection sweep (radius -> stores kept / total):")
+    for radius in RADIUS_SWEEP:
+        context.selection = SelectionSet()
+        Evaluator(context).execute(parse_rule(RULE_TEMPLATE.format(radius=radius)))
+        kept = len(context.selection.members.get(("Store", "Store"), ()))
+        print(f"  {radius:>6}: {kept:4d} / {len(world.stores)}")
+    benchmark.extra_info["stores_kept_5km"] = outcome.selected_instances
+    session.end()

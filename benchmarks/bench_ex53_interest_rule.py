@@ -1,0 +1,55 @@
+"""EX53 — the interest-tracking pair (Example 5.3).
+
+Times (a) the acquisition rule firing on a SpatialSelection event and
+(b) the threshold-triggered TrainAirportCity widening with its nested
+Intersection/unary-Distance evaluation over the (train × city × airport)
+product.
+"""
+
+from repro.data import build_regional_manager_profile
+
+CONDITION = "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km"
+
+
+def test_ex53_acquisition(benchmark, engine, world, user_schema):
+    profile = build_regional_manager_profile(user_schema)
+    session = engine.start_session(profile, location=world.stores[0].location)
+
+    def fire_event():
+        return session.record_spatial_selection("GeoMD.Store.City", CONDITION)
+
+    outcomes = benchmark(fire_event)
+    assert [o.rule_name for o in outcomes] == ["IntAirportCity"]
+    assert profile.degree("AirportCity") > 0
+    print(
+        f"\n[EX53a] IntAirportCity fired once per event "
+        f"(benchmark looped; degree reached "
+        f"{profile.degree('AirportCity')}, one increment per round)"
+    )
+    session.end()
+
+
+def test_ex53_train_widening(benchmark, engine, world, user_schema):
+    profile = build_regional_manager_profile(user_schema)
+    session = engine.start_session(profile, location=world.stores[0].location)
+    for _ in range(4):  # push degree past the threshold of 3
+        session.record_spatial_selection("GeoMD.Store.City", CONDITION)
+
+    def rerun():
+        session.selection.members.pop(("Store", "City"), None)
+        return session.rerun_instance_rules()
+
+    outcomes = benchmark(rerun)
+    train_outcome = next(o for o in outcomes if o.rule_name == "TrainAirportCity")
+    cities = session.selection.members.get(("Store", "City"), set())
+    assert cities
+    combos = (
+        len(world.train_lines) * len(world.cities) * len(world.airports)
+    )
+    assert train_outcome.iterations == combos
+    print(
+        f"\n[EX53b] TrainAirportCity: {train_outcome.iterations} "
+        f"(train x city x airport) combinations -> {len(cities)} cities "
+        f"with a <50km train connection: {sorted(cities)}"
+    )
+    session.end()

@@ -1,0 +1,38 @@
+"""EXT1 — language-layer throughput: PRML and GeoMDQL parsing.
+
+Infrastructure benchmark (not a paper artefact): the personalization
+engine re-parses rules at registration and GeoMDQL queries per portal
+request, so both parsers sit on the interactive path.
+"""
+
+from repro.data import ALL_PAPER_RULES, build_sales_schema
+from repro.olap import parse_query
+from repro.prml import parse_rules
+
+ALL_RULES_TEXT = "\n".join(ALL_PAPER_RULES.values())
+
+QUERIES = [
+    "SELECT COUNT(*) FROM Sales",
+    "SELECT SUM(UnitSales), AVG(StoreSales) FROM Sales BY Store.City, Time.Month",
+    "SELECT SUM(StoreSales) FROM Sales BY Store.State "
+    "WHERE Product.Family.name IN ('Food', 'Drink') "
+    "AND Store.City.population >= 100000",
+]
+
+
+def test_ext1_prml_parse_throughput(benchmark):
+    rules = benchmark(parse_rules, ALL_RULES_TEXT)
+    assert len(rules) == len(ALL_PAPER_RULES)
+    size = len(ALL_RULES_TEXT)
+    print(f"\n[EXT1a] parsed {len(rules)} rules ({size} chars) per round")
+
+
+def test_ext1_gmdql_parse_throughput(benchmark):
+    schema = build_sales_schema()
+
+    def parse_all():
+        return [parse_query(q, schema) for q in QUERIES]
+
+    queries = benchmark(parse_all)
+    assert len(queries) == len(QUERIES)
+    print(f"\n[EXT1b] parsed {len(QUERIES)} GeoMDQL queries per round")

@@ -1,0 +1,47 @@
+"""EXT2 — OLAP engine scaling: grouped aggregation across fact counts.
+
+Infrastructure benchmark: the cube engine should scale linearly in fact
+rows for a fixed grouping; this prints the measured series so regressions
+in the scan loop are visible.
+"""
+
+import time
+
+from conftest import SCALES, build_engine_at_scale
+
+from repro.mdm import Aggregator
+from repro.olap import AggSpec, Cube
+
+
+def test_ext2_olap_scaling(benchmark):
+    world, star, _engine = build_engine_at_scale("small")
+    cube = (
+        Cube(star)
+        .measures(AggSpec(Aggregator.SUM, "StoreSales"), AggSpec(Aggregator.COUNT, "*"))
+        .by("Store.City", "Time.Month")
+    )
+    result = benchmark(lambda: cube.result())
+    assert result.fact_rows_scanned == len(star.fact_table())
+
+    print("\n[EXT2] grouped-aggregation scaling (facts -> ms, cells):")
+    rows = []
+    for scale in SCALES:
+        _world, star, _engine = build_engine_at_scale(scale)
+        scaled_cube = (
+            Cube(star)
+            .measures(AggSpec(Aggregator.SUM, "StoreSales"))
+            .by("Store.City", "Time.Month")
+        )
+        start = time.perf_counter()
+        scaled_result = scaled_cube.result()
+        elapsed = (time.perf_counter() - start) * 1000
+        rows.append((len(star.fact_table()), elapsed, len(scaled_result)))
+        print(
+            f"  {len(star.fact_table()):>6} facts: {elapsed:8.2f} ms, "
+            f"{len(scaled_result):>5} cells"
+        )
+    # Rough linearity: 20x rows should not cost more than ~80x time.
+    smallest, largest = rows[0], rows[-1]
+    row_ratio = largest[0] / smallest[0]
+    time_ratio = largest[1] / max(smallest[1], 1e-9)
+    assert time_ratio < row_ratio * 4

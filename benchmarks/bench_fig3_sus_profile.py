@@ -1,0 +1,30 @@
+"""FIG3 — regenerate the SUS profile (the Fig. 3 metamodel)."""
+
+from repro.sus import sus_metamodel
+from repro.uml import to_plantuml
+
+
+def _build():
+    model = sus_metamodel()
+    return model, to_plantuml(model)
+
+
+def test_fig3_sus_profile(benchmark):
+    model, text = benchmark(_build)
+    profile = model.profiles["SUS"]
+    assert set(profile.stereotypes) == {
+        "User",
+        "Session",
+        "Characteristic",
+        "LocationContext",
+        "SpatialSelection",
+    }
+    assert model.enumerations["GeometricTypes"].literals == (
+        "POINT",
+        "LINE",
+        "POLYGON",
+        "COLLECTION",
+    )
+    print("\n[FIG3] SUS profile regenerated:")
+    print(f"  stereotypes={sorted(profile.stereotypes)}")
+    print(f"  GeometricTypes={list(model.enumerations['GeometricTypes'].literals)}")

@@ -1,0 +1,67 @@
+"""QC1 — "avoid exploring a large and complex SDW" (Sections 1 & 6).
+
+The paper's core qualitative claim: personalization means the decision
+maker's analyses run over a much smaller instance.  This bench sweeps
+warehouse scale and compares a grouped OLAP query over (a) the raw fact
+table vs (b) the personalized fact-row selection, reporting sizes and
+timing ratio.  Expected shape: the personalized query touches a small
+fraction of the rows and gets proportionally faster as scale grows.
+"""
+
+import time
+
+from conftest import SCALES, build_engine_at_scale
+
+from repro.data import build_regional_manager_profile
+from repro.mdm import Aggregator
+from repro.olap import AggSpec
+
+
+def _report_query(view):
+    return (
+        view.cube()
+        .measures(AggSpec(Aggregator.SUM, "StoreSales"))
+        .by("Product.Family")
+        .result()
+    )
+
+
+def test_qc1_personalized_vs_full(benchmark):
+    world, star, engine = build_engine_at_scale("small")
+    profile = build_regional_manager_profile()
+    session = engine.start_session(profile, location=world.cities[0].location)
+    view = session.view()
+
+    result = benchmark(_report_query, view)
+    assert result.fact_rows_scanned == len(view.fact_rows)
+
+    print("\n[QC1] personalized vs full scan across warehouse scales:")
+    print("  scale   facts    kept   kept%   t_full(ms)  t_pers(ms)  speedup")
+    for scale in SCALES:
+        world, star, engine = build_engine_at_scale(scale)
+        profile = build_regional_manager_profile()
+        session = engine.start_session(profile, world.cities[0].location)
+        view = session.view()
+        full_cube = view.cube().with_selection(None)
+        pers_cube = view.cube()
+
+        start = time.perf_counter()
+        full_cube.measures(AggSpec(Aggregator.SUM, "StoreSales")).by(
+            "Product.Family"
+        ).result()
+        t_full = (time.perf_counter() - start) * 1000
+
+        start = time.perf_counter()
+        pers_cube.measures(AggSpec(Aggregator.SUM, "StoreSales")).by(
+            "Product.Family"
+        ).result()
+        t_pers = (time.perf_counter() - start) * 1000
+
+        stats = view.stats()
+        total, kept = stats["fact_rows_total"], stats["fact_rows_kept"]
+        assert 0 < kept < total  # personalization always shrinks the instance
+        print(
+            f"  {scale:<7} {total:>6}  {kept:>6}  {kept / total:6.1%}"
+            f"  {t_full:10.2f}  {t_pers:10.2f}  {t_full / max(t_pers, 1e-9):6.1f}x"
+        )
+        session.end()

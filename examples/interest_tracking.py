@@ -1,0 +1,67 @@
+"""Example 5.3 walked end to end: interest tracking + train widening.
+
+The user repeatedly selects "cities at less than 20 km of an airport" in
+the BI front end.  Each selection fires the ``IntAirportCity`` acquisition
+rule, bumping the AirportCity interest degree in the spatial-aware user
+model.  Once the degree exceeds the designer threshold, the
+``TrainAirportCity`` rule adds the Train layer and *also* selects cities
+that are not near an airport but have a good (< 50 km travel) train
+connection to one.
+
+Run:  python examples/interest_tracking.py
+"""
+
+from repro.data import (
+    ALL_PAPER_RULES,
+    WorldGeoSource,
+    build_motivating_user_model,
+    build_regional_manager_profile,
+    build_sales_star,
+    generate_world,
+)
+from repro.personalization import PersonalizationEngine
+
+CONDITION = "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km"
+THRESHOLD = 3
+
+
+def main() -> None:
+    world = generate_world()
+    star = build_sales_star(world)
+    engine = PersonalizationEngine(
+        star,
+        build_motivating_user_model(),
+        geo_source=WorldGeoSource(world),
+        parameters={"threshold": THRESHOLD},
+    )
+    engine.add_rules(ALL_PAPER_RULES.values())
+
+    profile = build_regional_manager_profile()
+    session = engine.start_session(profile, location=world.stores[0].location)
+    print("initial view:", session.view().stats())
+
+    print(f"\nuser keeps selecting cities near airports (threshold={THRESHOLD}):")
+    for i in range(1, 5):
+        session.record_spatial_selection("GeoMD.Store.City", CONDITION)
+        session.rerun_instance_rules()
+        stats = session.view().stats()
+        widened = ("Store", "City") in session.selection.members
+        print(
+            f"  selection #{i}: degree={profile.degree('AirportCity')} "
+            f"kept_rows={stats['fact_rows_kept']} "
+            f"train_widening={'ON' if widened else 'off'}"
+        )
+
+    print("\ncities added through their train connection to an airport:")
+    for city_name in sorted(session.selection.members[("Store", "City")]):
+        lines = [l.name for l in world.train_lines if city_name in l.stops]
+        print(f"  {city_name:15s} via {', '.join(lines)}")
+
+    print("\nfinal user profile snapshot:")
+    degree = profile.degree("AirportCity")
+    print(f"  AirportCity.degree = {degree}")
+    session.end()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Render a personalized session to SVG maps (visualization extension).
+
+Writes three maps into ``./out``:
+
+* ``world.svg``        — the raw world, before personalization;
+* ``session.svg``      — after Examples 5.1+5.2 (5 km selection visible);
+* ``widened.svg``      — after Example 5.3's train-connection widening.
+
+Run:  python examples/visualize_session.py
+"""
+
+from pathlib import Path
+
+from repro.data import (
+    ALL_PAPER_RULES,
+    WorldGeoSource,
+    build_motivating_user_model,
+    build_regional_manager_profile,
+    build_sales_star,
+    generate_world,
+)
+from repro.personalization import PersonalizationEngine
+from repro.viz import render_session_map, render_world_map
+
+CONDITION = "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km"
+
+
+def main() -> None:
+    out = Path("out")
+    out.mkdir(exist_ok=True)
+
+    world = generate_world()
+    star = build_sales_star(world)
+    engine = PersonalizationEngine(
+        star,
+        build_motivating_user_model(),
+        geo_source=WorldGeoSource(world),
+        parameters={"threshold": 3},
+    )
+    engine.add_rules(ALL_PAPER_RULES.values())
+
+    (out / "world.svg").write_text(render_world_map(world))
+    print(f"wrote {out / 'world.svg'}")
+
+    profile = build_regional_manager_profile()
+    session = engine.start_session(profile, location=world.cities[0].location)
+    (out / "session.svg").write_text(render_session_map(session, world))
+    print(f"wrote {out / 'session.svg'} ({session.view().stats()})")
+
+    for _ in range(4):
+        session.record_spatial_selection("GeoMD.Store.City", CONDITION)
+    session.rerun_instance_rules()
+    (out / "widened.svg").write_text(render_session_map(session, world))
+    print(f"wrote {out / 'widened.svg'} ({session.view().stats()})")
+    session.end()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""The web-based personalization loop through the portal API.
+
+Simulates what a GeWOlap-style web client would do: login (rules fire),
+inspect the personalized schema, run GeoMDQL queries, report spatial
+selections, watch the view widen, log out.  Everything is in-process; to
+serve over a real socket use ``repro.web.server.serve(app)``.
+
+Run:  python examples/web_portal_demo.py
+"""
+
+from repro.data import (
+    ALL_PAPER_RULES,
+    WorldGeoSource,
+    build_motivating_user_model,
+    build_regional_manager_profile,
+    build_sales_star,
+    generate_world,
+)
+from repro.personalization import PersonalizationEngine
+from repro.web import PortalApp
+
+CONDITION = "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km"
+
+
+def show(title: str, response) -> None:
+    print(f"\n=== {title} [{response.status}] ===")
+    print(response.text())
+
+
+def main() -> None:
+    world = generate_world()
+    star = build_sales_star(world)
+    engine = PersonalizationEngine(
+        star,
+        build_motivating_user_model(),
+        geo_source=WorldGeoSource(world),
+        parameters={"threshold": 3},
+    )
+    engine.add_rules(ALL_PAPER_RULES.values())
+
+    app = PortalApp(engine)
+    profile = build_regional_manager_profile()
+    app.register_user(profile)
+
+    location = world.stores[0].location
+    login = app.handle(
+        "POST",
+        "/login",
+        {"user": profile.user_id, "location": [location.x, location.y]},
+    )
+    show("POST /login", login)
+    token = login.json()["token"]
+
+    show("GET /view", app.handle("GET", "/view", token=token))
+    show(
+        "POST /query",
+        app.handle(
+            "POST",
+            "/query",
+            {"q": "SELECT SUM(UnitSales) FROM Sales BY Store.City"},
+            token=token,
+        ),
+    )
+
+    for i in range(4):
+        response = app.handle(
+            "POST",
+            "/selection",
+            {"target": "GeoMD.Store.City", "condition": CONDITION},
+            token=token,
+        )
+        print(
+            f"selection #{i + 1}: matched rules = "
+            f"{response.json()['matched_rules']}"
+        )
+    show("POST /selection/rerun", app.handle("POST", "/selection/rerun", token=token))
+    show("GET /layers/Train", app.handle("GET", "/layers/Train", token=token))
+    show("POST /logout", app.handle("POST", "/logout", token=token))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim for offline legacy editable installs (no wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small operational commands over the reproduction:
+
+``demo``
+    Run the full paper scenario and print the personalized-view report.
+``rules``
+    Parse + semantically check a PRML rule file (or the built-in paper
+    rules with ``--paper``), printing the canonical form.
+``ddl``
+    Emit the star-schema DDL for the (personalized) GeoMD schema.
+``map``
+    Write the personalized session SVG map.
+``query``
+    Run one GeoMDQL query over the personalized view.
+``serve``
+    Start the web portal on a local port (interactive use only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.data import (
+    ALL_PAPER_RULES,
+    WorldConfig,
+    WorldGeoSource,
+    build_motivating_user_model,
+    build_regional_manager_profile,
+    build_sales_star,
+    generate_world,
+)
+from repro.errors import ReproError, PRMLError
+from repro.mda import DIALECTS, generate_ddl
+from repro.olap import execute, parse_query
+from repro.personalization import PersonalizationEngine
+from repro.prml import SemanticAnalyzer, parse_rules, print_rule
+from repro.viz import render_session_map
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_engine(seed: int, threshold: int):
+    world = generate_world(WorldConfig(seed=seed))
+    star = build_sales_star(world)
+    engine = PersonalizationEngine(
+        star,
+        build_motivating_user_model(),
+        geo_source=WorldGeoSource(world),
+        parameters={"threshold": threshold},
+    )
+    engine.add_rules(ALL_PAPER_RULES.values())
+    return world, star, engine
+
+
+def _open_session(world, engine):
+    profile = build_regional_manager_profile()
+    return engine.start_session(profile, location=world.stores[0].location)
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    world, star, engine = _build_engine(args.seed, args.threshold)
+    session = _open_session(world, engine)
+    print("personalized view:", session.view().stats())
+    for outcome in session.outcomes:
+        status = f"error: {outcome.error}" if outcome.error else (
+            f"actions={outcome.fired_actions} selected={outcome.selected_instances}"
+        )
+        print(f"  rule {outcome.rule_name}: {status}")
+    print()
+    print(session.view().cube().by("Store.City").result().format_table())
+    session.end()
+    return 0
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    if args.paper:
+        sources = "\n".join(ALL_PAPER_RULES.values())
+    elif args.file:
+        sources = Path(args.file).read_text()
+    else:
+        sources = sys.stdin.read()
+    try:
+        rules = parse_rules(sources)
+    except PRMLError as exc:
+        print(f"syntax error: {exc}", file=sys.stderr)
+        return 1
+    world, _star, engine = _build_engine(args.seed, args.threshold)
+    del world
+    analyzer = SemanticAnalyzer(
+        engine.user_schema,
+        engine.geomd_schema,
+        engine.geomd_schema,
+        engine.parameters,
+        known_layers=engine._promised_layers() | {"Airport", "Train"},
+    )
+    status = 0
+    for rule in rules:
+        issues = analyzer.analyze(rule)
+        marker = "OK " if not issues else "ERR"
+        print(f"[{marker}] Rule {rule.name}")
+        for issue in issues:
+            print(f"      - {issue}")
+            status = 1
+        if args.print:
+            print(print_rule(rule))
+            print()
+    return status
+
+
+def cmd_ddl(args: argparse.Namespace) -> int:
+    world, _star, engine = _build_engine(args.seed, args.threshold)
+    session = _open_session(world, engine)
+    print(generate_ddl(session.view().schema, dialect=args.dialect), end="")
+    session.end()
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    world, _star, engine = _build_engine(args.seed, args.threshold)
+    session = _open_session(world, engine)
+    svg = render_session_map(session, world)
+    Path(args.output).write_text(svg)
+    print(f"wrote {args.output}")
+    session.end()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    world, star, engine = _build_engine(args.seed, args.threshold)
+    session = _open_session(world, engine)
+    view = session.view()
+    try:
+        query = parse_query(args.q, view.schema)
+    except ReproError as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        session.end()
+        return 1
+    result = execute(star, query, view.fact_rows if view.is_restricted else None)
+    print(result.format_table())
+    print(f"({result.fact_rows_matched} of {result.fact_rows_scanned} rows matched)")
+    session.end()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - network
+    from repro.web import PortalApp
+    from repro.web.server import serve
+
+    world, _star, engine = _build_engine(args.seed, args.threshold)
+    app = PortalApp(engine)
+    app.register_user(build_regional_manager_profile())
+    print(f"serving the portal on http://{args.host}:{args.port} (Ctrl-C stops)")
+    serve(app, args.host, args.port)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatial data warehouse personalization (EDBT 2010 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world seed")
+    parser.add_argument(
+        "--threshold", type=int, default=3, help="Example 5.3 interest threshold"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the paper scenario").set_defaults(func=cmd_demo)
+
+    rules_cmd = sub.add_parser("rules", help="check PRML rules")
+    rules_cmd.add_argument("file", nargs="?", help="rule file (default: stdin)")
+    rules_cmd.add_argument("--paper", action="store_true", help="use the paper rules")
+    rules_cmd.add_argument(
+        "--print", action="store_true", help="print the canonical form"
+    )
+    rules_cmd.set_defaults(func=cmd_rules)
+
+    ddl_cmd = sub.add_parser("ddl", help="emit star-schema DDL")
+    ddl_cmd.add_argument("--dialect", choices=DIALECTS, default="generic")
+    ddl_cmd.set_defaults(func=cmd_ddl)
+
+    map_cmd = sub.add_parser("map", help="write the session SVG map")
+    map_cmd.add_argument("-o", "--output", default="session.svg")
+    map_cmd.set_defaults(func=cmd_map)
+
+    query_cmd = sub.add_parser("query", help="run a GeoMDQL query")
+    query_cmd.add_argument("q", help="the query text")
+    query_cmd.set_defaults(func=cmd_query)
+
+    serve_cmd = sub.add_parser("serve", help="start the web portal")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8080)
+    serve_cmd.set_defaults(func=cmd_serve)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Synthetic worlds, the Fig. 2/Fig. 4 fixtures and the paper's rules.
+
+Everything the examples, tests and benchmarks need to run the paper's
+scenario end to end: a deterministic geographic world generator, the
+sales-analysis MD schema, the star-schema loader, the user model of the
+motivating example, the external geo-data source and the Section 5 rule
+texts.
+"""
+
+from repro.data.catalog import WorldGeoSource
+from repro.data.loader import build_sales_star, load_world
+from repro.data.paper_rules import (
+    ADD_CITY_SPATIALITY,
+    ADD_SPATIALITY,
+    ALL_PAPER_RULES,
+    FIVE_KM_STORES,
+    INT_AIRPORT_CITY,
+    TRAIN_AIRPORT_CITY,
+)
+from repro.data.sales_schema import FACT_NAME, build_sales_schema
+from repro.data.user_models import (
+    build_motivating_user_model,
+    build_regional_manager_profile,
+)
+from repro.data.world import (
+    Airport,
+    City,
+    Customer,
+    Highway,
+    State,
+    Store,
+    TrainLine,
+    World,
+    WorldConfig,
+    generate_world,
+)
+
+__all__ = [
+    "ADD_CITY_SPATIALITY",
+    "ADD_SPATIALITY",
+    "ALL_PAPER_RULES",
+    "Airport",
+    "City",
+    "Customer",
+    "FACT_NAME",
+    "FIVE_KM_STORES",
+    "Highway",
+    "INT_AIRPORT_CITY",
+    "State",
+    "Store",
+    "TRAIN_AIRPORT_CITY",
+    "TrainLine",
+    "World",
+    "WorldConfig",
+    "WorldGeoSource",
+    "build_motivating_user_model",
+    "build_regional_manager_profile",
+    "build_sales_schema",
+    "build_sales_star",
+    "generate_world",
+    "load_world",
+]

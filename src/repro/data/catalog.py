@@ -1,0 +1,61 @@
+"""The world as an external geographic data source.
+
+Implements the :class:`~repro.prml.evaluator.GeoDataSource` protocol:
+``AddLayer``/``BecomeSpatial`` rules pull geometries from here, standing
+in for the SDIs / geo-portals / volunteered-geography services the paper
+lists as providers of "spatial data external to the domain".
+"""
+
+from __future__ import annotations
+
+from repro.data.world import World
+from repro.geometry import Geometry
+
+__all__ = ["WorldGeoSource"]
+
+
+class WorldGeoSource:
+    """Expose a :class:`~repro.data.world.World` as layers and geometries."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+
+    # -- GeoDataSource protocol ------------------------------------------------
+
+    def layer_features(
+        self, layer_name: str
+    ) -> list[tuple[str, Geometry, dict]] | None:
+        if layer_name == "Airport":
+            return [
+                (airport.name, airport.location, {"city": airport.city})
+                for airport in self.world.airports
+            ]
+        if layer_name == "Train":
+            return [
+                (line.name, line.path, {"stops": ", ".join(line.stops)})
+                for line in self.world.train_lines
+            ]
+        if layer_name == "Highway":
+            return [
+                (highway.name, highway.path, {})
+                for highway in self.world.highways
+            ]
+        return None
+
+    def level_geometries(
+        self, dimension: str, level: str
+    ) -> dict[str, Geometry] | None:
+        if dimension == "Store" and level == "Store":
+            return {store.name: store.location for store in self.world.stores}
+        if dimension == "Store" and level == "City":
+            return {city.name: city.location for city in self.world.cities}
+        if dimension == "Store" and level == "State":
+            return {state.name: state.polygon for state in self.world.states}
+        if dimension == "Customer" and level == "Customer":
+            return {
+                customer.name: customer.location
+                for customer in self.world.customers
+            }
+        if dimension == "Customer" and level == "City":
+            return {city.name: city.location for city in self.world.cities}
+        return None

@@ -1,0 +1,149 @@
+"""The MD schema of Fig. 2: the Sales cube of the motivating example.
+
+"A sales department of a company is initially interested in analysing who
+bought (Customer), where (Store), what (Product) and when (Time)" — with
+the Store dimension expanded to Store → City → State, measures UnitSales,
+StoreCost and StoreSales, and the usual descriptive attributes.
+"""
+
+from __future__ import annotations
+
+from repro.mdm.model import (
+    Attribute,
+    AttributeKind,
+    Dimension,
+    Fact,
+    Hierarchy,
+    Level,
+    MDSchema,
+    Measure,
+)
+from repro.uml.core import DATE, INTEGER, REAL, STRING
+
+__all__ = ["build_sales_schema", "FACT_NAME"]
+
+#: Fact class name used by the paper's rules (``MD.Sales.Store...``).
+FACT_NAME = "Sales"
+
+
+def _store_dimension() -> Dimension:
+    store = Level(
+        "Store",
+        [
+            Attribute("name", STRING, AttributeKind.DESCRIPTOR),
+            Attribute("address", STRING),
+        ],
+        key="name",
+    )
+    city = Level(
+        "City",
+        [
+            Attribute("name", STRING, AttributeKind.DESCRIPTOR),
+            Attribute("population", INTEGER),
+        ],
+        key="name",
+    )
+    state = Level(
+        "State",
+        [Attribute("name", STRING, AttributeKind.DESCRIPTOR)],
+        key="name",
+    )
+    return Dimension(
+        "Store",
+        [store, city, state],
+        [Hierarchy("geography", ["Store", "City", "State"])],
+        leaf="Store",
+    )
+
+
+def _customer_dimension() -> Dimension:
+    customer = Level(
+        "Customer",
+        [
+            Attribute("name", STRING, AttributeKind.DESCRIPTOR),
+            Attribute("address", STRING),
+        ],
+        key="name",
+    )
+    city = Level(
+        "City",
+        [Attribute("name", STRING, AttributeKind.DESCRIPTOR)],
+        key="name",
+    )
+    return Dimension(
+        "Customer",
+        [customer, city],
+        [Hierarchy("geography", ["Customer", "City"])],
+        leaf="Customer",
+    )
+
+
+def _product_dimension() -> Dimension:
+    product = Level(
+        "Product",
+        [
+            Attribute("name", STRING, AttributeKind.DESCRIPTOR),
+            Attribute("list_price", REAL),
+        ],
+        key="name",
+    )
+    family = Level(
+        "Family",
+        [Attribute("name", STRING, AttributeKind.DESCRIPTOR)],
+        key="name",
+    )
+    return Dimension(
+        "Product",
+        [product, family],
+        [Hierarchy("taxonomy", ["Product", "Family"])],
+        leaf="Product",
+    )
+
+
+def _time_dimension() -> Dimension:
+    day = Level(
+        "Day",
+        [
+            Attribute("name", STRING, AttributeKind.DESCRIPTOR),
+            Attribute("date", DATE),
+        ],
+        key="name",
+    )
+    month = Level(
+        "Month", [Attribute("name", STRING, AttributeKind.DESCRIPTOR)], key="name"
+    )
+    quarter = Level(
+        "Quarter", [Attribute("name", STRING, AttributeKind.DESCRIPTOR)], key="name"
+    )
+    year = Level(
+        "Year", [Attribute("name", STRING, AttributeKind.DESCRIPTOR)], key="name"
+    )
+    return Dimension(
+        "Time",
+        [day, month, quarter, year],
+        [Hierarchy("calendar", ["Day", "Month", "Quarter", "Year"])],
+        leaf="Day",
+    )
+
+
+def build_sales_schema() -> MDSchema:
+    """The Fig. 2 multidimensional model for sales analysis."""
+    fact = Fact(
+        FACT_NAME,
+        ["Customer", "Store", "Product", "Time"],
+        [
+            Measure("UnitSales", INTEGER),
+            Measure("StoreCost", REAL),
+            Measure("StoreSales", REAL),
+        ],
+    )
+    return MDSchema(
+        "SalesAnalysis",
+        [
+            _customer_dimension(),
+            _store_dimension(),
+            _product_dimension(),
+            _time_dimension(),
+        ],
+        [fact],
+    )

@@ -1,0 +1,65 @@
+"""The spatial-aware user model of Fig. 4 (motivating example).
+
+Classes: ``DecisionMaker`` («User») with its ``Role`` («Characteristic»),
+``Session`` («Session») with a ``Location`` («LocationContext»), and the
+``AirportCity`` («SpatialSelection») interest counter — wired by the
+association roles the paper's rules navigate (``dm2role``, ``dm2session``,
+``s2location``, ``dm2airportcity``).
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+from repro.sus.model import UserAssociation, UserClass, UserModelSchema, UserProfile
+from repro.sus.profile import SUSStereotype
+from repro.uml.core import STRING
+
+__all__ = ["build_motivating_user_model", "build_regional_manager_profile"]
+
+
+def build_motivating_user_model() -> UserModelSchema:
+    """The Fig. 4 user model schema."""
+    return UserModelSchema(
+        "MotivatingUserModel",
+        classes=[
+            UserClass(
+                "DecisionMaker",
+                SUSStereotype.USER,
+                properties={"name": STRING},
+            ),
+            UserClass(
+                "Role",
+                SUSStereotype.CHARACTERISTIC,
+                properties={"name": STRING},
+            ),
+            UserClass("Session", SUSStereotype.SESSION, properties={"id": STRING}),
+            UserClass("Location", SUSStereotype.LOCATION_CONTEXT),
+            UserClass("AirportCity", SUSStereotype.SPATIAL_SELECTION),
+        ],
+        associations=[
+            UserAssociation("DecisionMaker", "dm2role", "Role"),
+            UserAssociation("DecisionMaker", "dm2session", "Session"),
+            UserAssociation("Session", "s2location", "Location"),
+            UserAssociation("DecisionMaker", "dm2airportcity", "AirportCity"),
+        ],
+    )
+
+
+def build_regional_manager_profile(
+    schema: UserModelSchema | None = None,
+    name: str = "Ana Garcia",
+    location: Point | None = None,
+) -> UserProfile:
+    """A regional sales manager profile, optionally mid-session.
+
+    "It is worth noting that the user role has been previously gathered
+    from user requirements and stored in the spatial-aware user model"
+    (Example 5.1) — so the role is pre-set here.
+    """
+    schema = schema or build_motivating_user_model()
+    profile = UserProfile(schema, user_id=name.lower().replace(" ", "-"))
+    profile.set("DecisionMaker.name", name)
+    profile.set("DecisionMaker.dm2role.name", "RegionalSalesManager")
+    if location is not None:
+        profile.open_session(location)
+    return profile

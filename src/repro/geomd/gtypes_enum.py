@@ -1,0 +1,80 @@
+"""The ``GeometricTypes`` enumeration of the paper (Fig. 3).
+
+"All the allowed geometric primitives have been grouped in an enumeration
+element named GeometricTypes.  Those are POINT, LINE, POLYGON and
+COLLECTION.  These primitives are included on ISO and OGC spatial
+standards" — Section 4.1.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import GeometryError
+from repro.geometry.gtypes import (
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.uml.core import Enumeration
+
+__all__ = ["GeometricType", "geometric_types_enumeration"]
+
+
+class GeometricType(enum.Enum):
+    """The paper's geometric primitives, as declared in the SUS profile."""
+
+    POINT = "POINT"
+    LINE = "LINE"
+    POLYGON = "POLYGON"
+    COLLECTION = "COLLECTION"
+
+    def accepts(self, geom: Geometry) -> bool:
+        """Does a concrete geometry instance conform to this declared type?
+
+        Multi-part geometries conform to their base type (a MultiPoint is
+        acceptable where POINT data is declared, matching the OGC layer
+        model where a layer column is typed by its member primitive), and
+        everything conforms to COLLECTION.
+        """
+        if self is GeometricType.POINT:
+            return isinstance(geom, (Point, MultiPoint))
+        if self is GeometricType.LINE:
+            return isinstance(geom, (LineString, MultiLineString))
+        if self is GeometricType.POLYGON:
+            return isinstance(geom, (Polygon, MultiPolygon))
+        return isinstance(geom, Geometry)
+
+    @classmethod
+    def of(cls, geom: Geometry) -> "GeometricType":
+        """Classify a geometry instance into its declared type."""
+        if isinstance(geom, (Point, MultiPoint)):
+            return cls.POINT
+        if isinstance(geom, (LineString, MultiLineString)):
+            return cls.LINE
+        if isinstance(geom, (Polygon, MultiPolygon)):
+            return cls.POLYGON
+        if isinstance(geom, GeometryCollection):
+            return cls.COLLECTION
+        raise GeometryError(f"cannot classify {type(geom).__name__}")
+
+    @classmethod
+    def parse(cls, text: str) -> "GeometricType":
+        """Parse the PRML literal spelling (``POINT``, ``LINE``...)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise GeometryError(
+                f"unknown geometric type {text!r}; expected one of "
+                f"{[t.name for t in cls]}"
+            ) from None
+
+
+def geometric_types_enumeration() -> Enumeration:
+    """The UML enumeration element used by the SUS profile (Fig. 3)."""
+    return Enumeration("GeometricTypes", [t.name for t in GeometricType])

@@ -1,0 +1,104 @@
+"""Topological constraints over spatial hierarchies.
+
+Malinowski & Zimányi (ref [17] of the paper) introduce *topological
+relationship types* that constrain how the geometries of a child level
+relate to the geometries of its parent level (a City must lie WITHIN its
+State, a Store must be WITHIN its City's urban polygon, and so on).  The
+paper cites this as part of the modeling landscape its rules operate over;
+this module makes those constraints checkable against warehouse instances,
+which the test suite and the data generator use to validate generated
+worlds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.geometry import Geometry, contains, disjoint, intersects, touches, within
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.star import StarSchema
+
+__all__ = ["TopologicalRelation", "HierarchyConstraint", "check_constraint"]
+
+
+class TopologicalRelation(enum.Enum):
+    """Allowed child-parent geometric relationships."""
+
+    WITHIN = "within"
+    INTERSECTS = "intersects"
+    TOUCHES = "touches"
+    DISJOINT = "disjoint"
+    CONTAINS = "contains"
+
+    def check(self, child: Geometry, parent: Geometry) -> bool:
+        predicate: Callable[[Geometry, Geometry], bool] = {
+            TopologicalRelation.WITHIN: within,
+            TopologicalRelation.INTERSECTS: intersects,
+            TopologicalRelation.TOUCHES: touches,
+            TopologicalRelation.DISJOINT: disjoint,
+            TopologicalRelation.CONTAINS: contains,
+        }[self]
+        return predicate(child, parent)
+
+
+@dataclass(frozen=True)
+class HierarchyConstraint:
+    """Declares that child-level geometries relate to parent-level ones.
+
+    Example: ``HierarchyConstraint("Store", "Store", "City",
+    TopologicalRelation.WITHIN)`` — every store point must lie within its
+    city polygon.
+    """
+
+    dimension: str
+    child_level: str
+    parent_level: str
+    relation: TopologicalRelation
+
+
+@dataclass
+class ConstraintViolation:
+    """One member pair breaking a constraint."""
+
+    constraint: HierarchyConstraint
+    child_member: str
+    parent_member: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.constraint.dimension}: {self.child_member!r} is not "
+            f"{self.constraint.relation.value} its parent "
+            f"{self.parent_member!r} "
+            f"({self.constraint.child_level} -> {self.constraint.parent_level})"
+        )
+
+
+def check_constraint(
+    star: "StarSchema", constraint: HierarchyConstraint
+) -> list[ConstraintViolation]:
+    """Validate a constraint against warehouse instances.
+
+    Walks every member of the child level, rolls it up to the parent level
+    and applies the topological predicate to both geometries.  Members
+    missing a geometry are reported as violations (a declared-spatial level
+    must be fully described).
+    """
+    table = star.dimension_table(constraint.dimension)
+    violations: list[ConstraintViolation] = []
+    for member in table.members(constraint.child_level):
+        parent = table.rollup(member, constraint.parent_level)
+        child_geom = table.geometry_of(member)
+        parent_geom = table.geometry_of(parent)
+        if child_geom is None or parent_geom is None:
+            violations.append(
+                ConstraintViolation(constraint, member.key, parent.key)
+            )
+            continue
+        if not constraint.relation.check(child_geom, parent_geom):
+            violations.append(
+                ConstraintViolation(constraint, member.key, parent.key)
+            )
+    return violations

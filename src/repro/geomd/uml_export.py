@@ -1,0 +1,60 @@
+"""UML export for GeoMD schemas — regenerates Fig. 6.
+
+Extends the MD profile with the stereotypes of the geographic extension
+(ref [10]): ``<<SpatialLevel>>`` replaces ``<<Base>>`` on spatialized
+levels and ``<<Layer>>`` marks thematic layer classes.
+"""
+
+from __future__ import annotations
+
+from repro.geomd.gtypes_enum import geometric_types_enumeration
+from repro.geomd.schema import GeoMDSchema
+from repro.mdm.uml_export import md_profile, schema_to_uml
+from repro.uml.core import GEOMETRY, Model, Profile, Property, Stereotype, UMLClass
+
+__all__ = ["geomd_profile", "geomd_to_uml"]
+
+
+def geomd_profile() -> Profile:
+    """MD profile + the geographic stereotypes of ref [10]."""
+    profile = md_profile()
+    profile.name = "GeoMDProfile"
+    profile.add(Stereotype("SpatialLevel", "Class"))
+    profile.add(Stereotype("Layer", "Class"))
+    profile.add(Stereotype("SpatialMeasure", "Property"))
+    return profile
+
+
+def geomd_to_uml(schema: GeoMDSchema) -> Model:
+    """Build the UML model for a GeoMD schema (Fig. 6 regeneration)."""
+    model = schema_to_uml(schema)
+    profile = geomd_profile()
+    model.profiles.clear()
+    model.apply_profile(profile)
+    model.add_enumeration(geometric_types_enumeration())
+
+    # Re-stereotype spatialized levels: Base -> Base + SpatialLevel.
+    for level_ref, gtype in schema.spatial_levels.items():
+        dim_name, _, level_name = level_ref.partition(".")
+        cls = _level_class(model, dim_name, level_name)
+        profile.apply(cls, "SpatialLevel")
+        cls.stereotypes.discard("Base")
+
+    # Layer classes.
+    for layer in schema.layers.values():
+        layer_cls = UMLClass(layer.name)
+        if layer_cls.name in model.classes:
+            layer_cls = UMLClass(f"{layer.name}Layer")
+        model.add_class(layer_cls)
+        profile.apply(layer_cls, "Layer")
+        for attr in layer.attributes.values():
+            layer_cls.add_property(Property(attr.name, attr.type))
+        geom_prop = layer_cls.add_property(Property("geometry", GEOMETRY))
+        geom_prop.stereotypes.add(layer.geometric_type.name)
+    return model
+
+
+def _level_class(model: Model, dim_name: str, level_name: str) -> UMLClass:
+    if level_name in model.classes:
+        return model.classes[level_name]
+    return model.classes[f"{dim_name}_{level_name}"]

@@ -1,0 +1,493 @@
+"""Geometry object model: an ISO 19107 / OGC Simple Features subset.
+
+The paper restricts itself to the geometric primitives ``POINT``, ``LINE``,
+``POLYGON`` and ``COLLECTION`` (Section 4.1, Fig. 3) "included on ISO and
+OGC spatial standards".  This module provides exactly that subset plus the
+multi-part types needed to close the algebra (an intersection of two lines
+can be several points).
+
+All geometries are immutable; coordinates are stored as tuples of
+``(x, y)`` floats.  Equality is structural (``ogc_equals`` offers the
+tolerant, orientation-insensitive spatial equality instead).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import GeometryError
+from repro.geometry import algorithms as alg
+from repro.geometry.algorithms import Coord
+
+__all__ = [
+    "Envelope",
+    "Geometry",
+    "Point",
+    "MultiPoint",
+    "LineString",
+    "MultiLineString",
+    "Polygon",
+    "MultiPolygon",
+    "GeometryCollection",
+    "as_point",
+]
+
+
+class Envelope:
+    """Axis-aligned bounding box; the workhorse of the spatial indexes."""
+
+    __slots__ = ("min_x", "min_y", "max_x", "max_y")
+
+    def __init__(self, min_x: float, min_y: float, max_x: float, max_y: float) -> None:
+        if min_x > max_x or min_y > max_y:
+            raise GeometryError(
+                f"degenerate envelope: ({min_x}, {min_y}, {max_x}, {max_y})"
+            )
+        self.min_x = float(min_x)
+        self.min_y = float(min_y)
+        self.max_x = float(max_x)
+        self.max_y = float(max_y)
+
+    @classmethod
+    def of_coords(cls, coords: Iterable[Coord]) -> "Envelope":
+        xs, ys = zip(*coords)
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Coord:
+        return ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def intersects(self, other: "Envelope") -> bool:
+        return not (
+            self.max_x < other.min_x
+            or other.max_x < self.min_x
+            or self.max_y < other.min_y
+            or other.max_y < self.min_y
+        )
+
+    def contains_coord(self, p: Coord) -> bool:
+        return self.min_x <= p[0] <= self.max_x and self.min_y <= p[1] <= self.max_y
+
+    def contains(self, other: "Envelope") -> bool:
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def expanded(self, margin: float) -> "Envelope":
+        """A copy grown by ``margin`` on every side (used for radius queries)."""
+        return Envelope(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def union(self, other: "Envelope") -> "Envelope":
+        return Envelope(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def distance(self, other: "Envelope") -> float:
+        """Minimum distance between two envelopes (0 when they intersect)."""
+        dx = max(self.min_x - other.max_x, other.min_x - self.max_x, 0.0)
+        dy = max(self.min_y - other.max_y, other.min_y - self.max_y, 0.0)
+        return math.hypot(dx, dy)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Envelope):
+            return NotImplemented
+        return (self.min_x, self.min_y, self.max_x, self.max_y) == (
+            other.min_x,
+            other.min_y,
+            other.max_x,
+            other.max_y,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.min_x, self.min_y, self.max_x, self.max_y))
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope({self.min_x!r}, {self.min_y!r}, "
+            f"{self.max_x!r}, {self.max_y!r})"
+        )
+
+
+class Geometry:
+    """Abstract base of all geometry types."""
+
+    __slots__ = ()
+
+    #: OGC-style type name, overridden by subclasses.
+    geom_type: str = "Geometry"
+
+    @property
+    def envelope(self) -> Envelope:
+        return Envelope.of_coords(self.coords())
+
+    def coords(self) -> Iterator[Coord]:
+        """Yield every coordinate of the geometry (outline order)."""
+        raise NotImplementedError
+
+    @property
+    def is_empty(self) -> bool:
+        return next(iter(self.coords()), None) is None
+
+    @property
+    def dimension(self) -> int:
+        """Topological dimension: 0 points, 1 curves, 2 surfaces."""
+        raise NotImplementedError
+
+    @property
+    def wkt(self) -> str:
+        from repro.geometry import wkt as wkt_mod
+
+        return wkt_mod.dumps(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.wkt}>"
+
+
+class Point(Geometry):
+    """A 0-dimensional position (the paper's ``POINT``)."""
+
+    __slots__ = ("x", "y")
+    geom_type = "Point"
+
+    def __init__(self, x: float, y: float) -> None:
+        if not (math.isfinite(x) and math.isfinite(y)):
+            raise GeometryError(f"non-finite point coordinates: ({x}, {y})")
+        self.x = float(x)
+        self.y = float(y)
+
+    @property
+    def coord(self) -> Coord:
+        return (self.x, self.y)
+
+    def coords(self) -> Iterator[Coord]:
+        yield (self.x, self.y)
+
+    @property
+    def dimension(self) -> int:
+        return 0
+
+    def distance_to(self, other: "Point") -> float:
+        return alg.distance(self.coord, other.coord)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash(("Point", self.x, self.y))
+
+
+class LineString(Geometry):
+    """A polyline with at least two vertices (the paper's ``LINE``)."""
+
+    __slots__ = ("_coords",)
+    geom_type = "LineString"
+
+    def __init__(self, coords: Sequence[Coord]) -> None:
+        pts = tuple((float(x), float(y)) for x, y in coords)
+        if len(pts) < 2:
+            raise GeometryError("LineString requires at least 2 coordinates")
+        for x, y in pts:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                raise GeometryError(f"non-finite LineString coordinate: ({x}, {y})")
+        for i in range(len(pts) - 1):
+            if alg.coords_equal(pts[i], pts[i + 1]):
+                raise GeometryError(
+                    f"repeated consecutive LineString vertex at index {i}: {pts[i]}"
+                )
+        self._coords = pts
+
+    def coords(self) -> Iterator[Coord]:
+        return iter(self._coords)
+
+    @property
+    def coord_list(self) -> tuple[Coord, ...]:
+        return self._coords
+
+    @property
+    def dimension(self) -> int:
+        return 1
+
+    @property
+    def length(self) -> float:
+        return alg.polyline_length(self._coords)
+
+    @property
+    def is_closed(self) -> bool:
+        return alg.coords_equal(self._coords[0], self._coords[-1])
+
+    def segments(self) -> Iterator[tuple[Coord, Coord]]:
+        for i in range(len(self._coords) - 1):
+            yield self._coords[i], self._coords[i + 1]
+
+    def arc_between(self, p: Point, q: Point) -> float:
+        """Travel distance along this line between the projections of two
+        points.  Implements the Example 5.3 "train connection" semantics."""
+        return alg.polyline_arc_between(self._coords, p.coord, q.coord)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LineString):
+            return NotImplemented
+        return self._coords == other._coords
+
+    def __hash__(self) -> int:
+        return hash(("LineString", self._coords))
+
+
+class Polygon(Geometry):
+    """A surface bounded by one exterior ring and optional holes.
+
+    Rings are normalized on construction: the exterior is stored
+    counter-clockwise, holes clockwise, and the closing vertex is dropped.
+    """
+
+    __slots__ = ("_shell", "_holes")
+    geom_type = "Polygon"
+
+    def __init__(
+        self, shell: Sequence[Coord], holes: Sequence[Sequence[Coord]] = ()
+    ) -> None:
+        self._shell = self._normalize_ring(shell, ccw=True)
+        self._holes = tuple(self._normalize_ring(h, ccw=False) for h in holes)
+
+    @staticmethod
+    def _normalize_ring(ring: Sequence[Coord], ccw: bool) -> tuple[Coord, ...]:
+        pts = [(float(x), float(y)) for x, y in ring]
+        if len(pts) >= 2 and alg.coords_equal(pts[0], pts[-1]):
+            pts = pts[:-1]
+        if len(pts) < 3:
+            raise GeometryError("polygon ring requires at least 3 distinct vertices")
+        for x, y in pts:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                raise GeometryError(f"non-finite Polygon coordinate: ({x}, {y})")
+        if not alg.is_ring_simple(pts):
+            raise GeometryError("polygon ring is self-intersecting")
+        area = alg.signed_area(pts)
+        if alg.close(area, 0.0):
+            raise GeometryError("polygon ring has zero area")
+        if (area > 0) != ccw:
+            pts.reverse()
+        # Canonical rotation: start at the lexicographically smallest vertex
+        # so that structural equality is insensitive to both the input
+        # orientation and the starting vertex.
+        start = min(range(len(pts)), key=lambda i: pts[i])
+        pts = pts[start:] + pts[:start]
+        return tuple(pts)
+
+    @property
+    def shell(self) -> tuple[Coord, ...]:
+        return self._shell
+
+    @property
+    def holes(self) -> tuple[tuple[Coord, ...], ...]:
+        return self._holes
+
+    def coords(self) -> Iterator[Coord]:
+        yield from self._shell
+        for hole in self._holes:
+            yield from hole
+
+    @property
+    def dimension(self) -> int:
+        return 2
+
+    @property
+    def area(self) -> float:
+        total = abs(alg.signed_area(self._shell))
+        for hole in self._holes:
+            total -= abs(alg.signed_area(hole))
+        return total
+
+    @property
+    def perimeter(self) -> float:
+        rings = (self._shell,) + self._holes
+        return sum(
+            alg.polyline_length(tuple(r) + (r[0],)) for r in rings
+        )
+
+    def locate_coord(self, p: Coord) -> str:
+        """Classify ``p`` as interior / boundary / exterior of the polygon."""
+        where = alg.point_in_ring(p, self._shell)
+        if where != "interior":
+            return where
+        for hole in self._holes:
+            inner = alg.point_in_ring(p, hole)
+            if inner == "interior":
+                return "exterior"
+            if inner == "boundary":
+                return "boundary"
+        return "interior"
+
+    def contains_coord(self, p: Coord) -> bool:
+        return self.locate_coord(p) == "interior"
+
+    def boundary_segments(self) -> Iterator[tuple[Coord, Coord]]:
+        for ring in (self._shell,) + self._holes:
+            n = len(ring)
+            for i in range(n):
+                yield ring[i], ring[(i + 1) % n]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return self._shell == other._shell and self._holes == other._holes
+
+    def __hash__(self) -> int:
+        return hash(("Polygon", self._shell, self._holes))
+
+
+class _HomogeneousCollection(Geometry):
+    """Shared machinery of MultiPoint / MultiLineString / MultiPolygon."""
+
+    __slots__ = ("_parts",)
+    part_type: type = Geometry
+
+    def __init__(self, parts: Iterable[Geometry]) -> None:
+        items = tuple(parts)
+        for item in items:
+            if not isinstance(item, self.part_type):
+                raise GeometryError(
+                    f"{type(self).__name__} accepts only "
+                    f"{self.part_type.__name__}, got {type(item).__name__}"
+                )
+        self._parts = items
+
+    @property
+    def parts(self) -> tuple[Geometry, ...]:
+        return self._parts
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def __iter__(self) -> Iterator[Geometry]:
+        return iter(self._parts)
+
+    def coords(self) -> Iterator[Coord]:
+        for part in self._parts:
+            yield from part.coords()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, type(self)):
+            return NotImplemented
+        return self._parts == other._parts
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._parts))
+
+
+class MultiPoint(_HomogeneousCollection):
+    __slots__ = ()
+    geom_type = "MultiPoint"
+    part_type = Point
+
+    @property
+    def dimension(self) -> int:
+        return 0
+
+
+class MultiLineString(_HomogeneousCollection):
+    __slots__ = ()
+    geom_type = "MultiLineString"
+    part_type = LineString
+
+    @property
+    def dimension(self) -> int:
+        return 1
+
+    @property
+    def length(self) -> float:
+        return sum(part.length for part in self._parts)  # type: ignore[attr-defined]
+
+
+class MultiPolygon(_HomogeneousCollection):
+    __slots__ = ()
+    geom_type = "MultiPolygon"
+    part_type = Polygon
+
+    @property
+    def dimension(self) -> int:
+        return 2
+
+    @property
+    def area(self) -> float:
+        return sum(part.area for part in self._parts)  # type: ignore[attr-defined]
+
+
+class GeometryCollection(Geometry):
+    """Heterogeneous collection (the paper's ``COLLECTION``)."""
+
+    __slots__ = ("_parts",)
+    geom_type = "GeometryCollection"
+
+    def __init__(self, parts: Iterable[Geometry]) -> None:
+        items = tuple(parts)
+        for item in items:
+            if not isinstance(item, Geometry):
+                raise GeometryError(
+                    f"GeometryCollection holds geometries, got {type(item).__name__}"
+                )
+        self._parts = items
+
+    @property
+    def parts(self) -> tuple[Geometry, ...]:
+        return self._parts
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def __iter__(self) -> Iterator[Geometry]:
+        return iter(self._parts)
+
+    def coords(self) -> Iterator[Coord]:
+        for part in self._parts:
+            yield from part.coords()
+
+    @property
+    def dimension(self) -> int:
+        return max((p.dimension for p in self._parts), default=0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GeometryCollection):
+            return NotImplemented
+        return self._parts == other._parts
+
+    def __hash__(self) -> int:
+        return hash(("GeometryCollection", self._parts))
+
+
+def as_point(value: object) -> Point:
+    """Coerce ``value`` (Point or coordinate pair) to a :class:`Point`."""
+    if isinstance(value, Point):
+        return value
+    if (
+        isinstance(value, (tuple, list))
+        and len(value) == 2
+        and all(isinstance(c, (int, float)) for c in value)
+    ):
+        return Point(value[0], value[1])
+    raise GeometryError(f"cannot interpret {value!r} as a Point")

@@ -1,0 +1,238 @@
+"""Well-Known Text reader/writer for the geometry subset.
+
+The paper grounds its geometric types in the ISO/OGC standards; WKT is the
+standard interchange text form, and the natural serialization for layers,
+user locations and test fixtures throughout the repository.
+
+Supported types: ``POINT``, ``LINESTRING``, ``POLYGON``, ``MULTIPOINT``,
+``MULTILINESTRING``, ``MULTIPOLYGON``, ``GEOMETRYCOLLECTION`` and the
+``EMPTY`` keyword for collection-like types.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import WKTError
+from repro.geometry.gtypes import (
+    Geometry,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+__all__ = ["dumps", "loads"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<word>[A-Za-z]+)|(?P<num>[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?)"
+    r"|(?P<punct>[(),]))"
+)
+
+
+def _format_num(value: float) -> str:
+    """Render a coordinate without a trailing ``.0`` for integral values."""
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(value)
+
+
+def _coords_text(coords: Iterator[tuple[float, float]]) -> str:
+    return ", ".join(f"{_format_num(x)} {_format_num(y)}" for x, y in coords)
+
+
+def dumps(geom: Geometry) -> str:
+    """Serialize a geometry to WKT."""
+    if isinstance(geom, Point):
+        return f"POINT ({_format_num(geom.x)} {_format_num(geom.y)})"
+    if isinstance(geom, LineString):
+        return f"LINESTRING ({_coords_text(iter(geom.coord_list))})"
+    if isinstance(geom, Polygon):
+        rings = [geom.shell + (geom.shell[0],)]
+        rings.extend(hole + (hole[0],) for hole in geom.holes)
+        body = ", ".join(f"({_coords_text(iter(ring))})" for ring in rings)
+        return f"POLYGON ({body})"
+    if isinstance(geom, MultiPoint):
+        if not len(geom):
+            return "MULTIPOINT EMPTY"
+        body = ", ".join(
+            f"({_format_num(p.x)} {_format_num(p.y)})" for p in geom  # type: ignore[attr-defined]
+        )
+        return f"MULTIPOINT ({body})"
+    if isinstance(geom, MultiLineString):
+        if not len(geom):
+            return "MULTILINESTRING EMPTY"
+        body = ", ".join(
+            f"({_coords_text(iter(line.coord_list))})" for line in geom  # type: ignore[attr-defined]
+        )
+        return f"MULTILINESTRING ({body})"
+    if isinstance(geom, MultiPolygon):
+        if not len(geom):
+            return "MULTIPOLYGON EMPTY"
+        bodies = []
+        for poly in geom:
+            rings = [poly.shell + (poly.shell[0],)]  # type: ignore[attr-defined]
+            rings.extend(hole + (hole[0],) for hole in poly.holes)  # type: ignore[attr-defined]
+            bodies.append(
+                "(" + ", ".join(f"({_coords_text(iter(r))})" for r in rings) + ")"
+            )
+        return f"MULTIPOLYGON ({', '.join(bodies)})"
+    if isinstance(geom, GeometryCollection):
+        if not len(geom):
+            return "GEOMETRYCOLLECTION EMPTY"
+        return f"GEOMETRYCOLLECTION ({', '.join(dumps(p) for p in geom)})"
+    raise WKTError(f"cannot serialize {type(geom).__name__}")
+
+
+class _Parser:
+    """Tiny recursive-descent WKT parser over a token stream."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: list[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                remainder = text[pos:].strip()
+                if not remainder:
+                    break
+                raise WKTError(f"unexpected WKT input at offset {pos}: {remainder[:20]!r}")
+            token = match.group("word") or match.group("num") or match.group("punct")
+            if token:
+                self.tokens.append(token)
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise WKTError("unexpected end of WKT input")
+        self.index += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        found = self.next()
+        if found.upper() != token.upper():
+            raise WKTError(f"expected {token!r}, found {found!r}")
+
+    def number(self) -> float:
+        token = self.next()
+        try:
+            return float(token)
+        except ValueError as exc:
+            raise WKTError(f"expected a number, found {token!r}") from exc
+
+    def coord(self) -> tuple[float, float]:
+        return (self.number(), self.number())
+
+    def coord_seq(self) -> list[tuple[float, float]]:
+        self.expect("(")
+        coords = [self.coord()]
+        while self.peek() == ",":
+            self.next()
+            coords.append(self.coord())
+        self.expect(")")
+        return coords
+
+    def ring_seq(self) -> list[list[tuple[float, float]]]:
+        self.expect("(")
+        rings = [self.coord_seq()]
+        while self.peek() == ",":
+            self.next()
+            rings.append(self.coord_seq())
+        self.expect(")")
+        return rings
+
+    def geometry(self) -> Geometry:
+        keyword = self.next().upper()
+        if keyword == "POINT":
+            self.expect("(")
+            x, y = self.coord()
+            self.expect(")")
+            return Point(x, y)
+        if keyword == "LINESTRING":
+            return LineString(self.coord_seq())
+        if keyword == "POLYGON":
+            rings = self.ring_seq()
+            return Polygon(rings[0], rings[1:])
+        if keyword == "MULTIPOINT":
+            if self._empty():
+                return MultiPoint(())
+            return MultiPoint(self._multipoint_body())
+        if keyword == "MULTILINESTRING":
+            if self._empty():
+                return MultiLineString(())
+            self.expect("(")
+            lines = [LineString(self.coord_seq())]
+            while self.peek() == ",":
+                self.next()
+                lines.append(LineString(self.coord_seq()))
+            self.expect(")")
+            return MultiLineString(lines)
+        if keyword == "MULTIPOLYGON":
+            if self._empty():
+                return MultiPolygon(())
+            self.expect("(")
+            polys = [self._polygon_body()]
+            while self.peek() == ",":
+                self.next()
+                polys.append(self._polygon_body())
+            self.expect(")")
+            return MultiPolygon(polys)
+        if keyword == "GEOMETRYCOLLECTION":
+            if self._empty():
+                return GeometryCollection(())
+            self.expect("(")
+            parts = [self.geometry()]
+            while self.peek() == ",":
+                self.next()
+                parts.append(self.geometry())
+            self.expect(")")
+            return GeometryCollection(parts)
+        raise WKTError(f"unknown WKT geometry type {keyword!r}")
+
+    def _empty(self) -> bool:
+        if self.peek() is not None and self.peek().upper() == "EMPTY":  # type: ignore[union-attr]
+            self.next()
+            return True
+        return False
+
+    def _polygon_body(self) -> Polygon:
+        rings = self.ring_seq()
+        return Polygon(rings[0], rings[1:])
+
+    def _multipoint_body(self) -> list[Point]:
+        """MULTIPOINT accepts both ``(1 2, 3 4)`` and ``((1 2), (3 4))``."""
+        self.expect("(")
+        points: list[Point] = []
+        while True:
+            if self.peek() == "(":
+                self.next()
+                x, y = self.coord()
+                self.expect(")")
+            else:
+                x, y = self.coord()
+            points.append(Point(x, y))
+            if self.peek() == ",":
+                self.next()
+                continue
+            break
+        self.expect(")")
+        return points
+
+
+def loads(text: str) -> Geometry:
+    """Parse a WKT string into a geometry object."""
+    parser = _Parser(text)
+    geom = parser.geometry()
+    if parser.peek() is not None:
+        raise WKTError(f"trailing WKT input: {parser.peek()!r}")
+    return geom

@@ -1,0 +1,10 @@
+"""Model-driven logical design (the paper's refs [9], [10], [18]).
+
+Transforms a (personalized) GeoMD conceptual schema into a relational
+star-schema DDL script — generic SQL or PostGIS — including geometry
+columns for spatial levels/layers and spatial indexes.
+"""
+
+from repro.mda.ddl import DIALECTS, generate_ddl
+
+__all__ = ["DIALECTS", "generate_ddl"]

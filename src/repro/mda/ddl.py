@@ -1,0 +1,204 @@
+"""GeoMD → relational logical design (the MDA PIM→PSM transformation).
+
+The paper's short-term future work is to "integrate the approach in our
+model driven developing framework [9]"; the authors' MDA line ([9], [10])
+and Malinowski & Zimányi's guidelines ([18]) derive object-relational
+star schemas from the conceptual models.  This module implements that
+transformation for the personalized GeoMD schema:
+
+* one table per dimension level, with a surrogate key, the declared
+  attributes, a foreign key per roll-up edge — and a typed geometry
+  column for spatial levels;
+* one table per fact, with foreign keys to every leaf level and one
+  column per measure;
+* one table per thematic layer, geometry column typed by the layer's
+  ``GeometricType``;
+* spatial indexes on every geometry column.
+
+Two SQL dialects are provided: ``generic`` (plain SQL, geometry stored as
+WKT ``TEXT``) and ``postgis`` (``geometry(Point, ...)`` columns with GiST
+indexes) — so the personalized conceptual schema really is "independent
+of the target platform" as the paper argues for conceptual design.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.geomd.gtypes_enum import GeometricType
+from repro.geomd.schema import GEOMETRY_ATTRIBUTE, GeoMDSchema
+from repro.mdm.model import Dimension, Fact, Level, MDSchema
+
+__all__ = ["generate_ddl", "DIALECTS"]
+
+DIALECTS = ("generic", "postgis")
+
+_TYPE_MAP = {
+    "String": "VARCHAR(255)",
+    "Integer": "INTEGER",
+    "Real": "DOUBLE PRECISION",
+    "Boolean": "BOOLEAN",
+    "Date": "DATE",
+}
+
+_POSTGIS_GEOM = {
+    GeometricType.POINT: "geometry(Point)",
+    GeometricType.LINE: "geometry(LineString)",
+    GeometricType.POLYGON: "geometry(Polygon)",
+    GeometricType.COLLECTION: "geometry(GeometryCollection)",
+}
+
+
+def _identifier(name: str) -> str:
+    """Lower-snake SQL identifier from a model element name."""
+    out: list[str] = []
+    for i, ch in enumerate(name):
+        if ch.isupper() and i > 0 and (name[i - 1].islower() or name[i - 1].isdigit()):
+            out.append("_")
+        out.append(ch.lower())
+    text = "".join(out).replace(" ", "_").replace("-", "_")
+    if not text or not (text[0].isalpha() or text[0] == "_"):
+        text = f"t_{text}"
+    return text
+
+
+def _level_table(dimension: Dimension, level: Level) -> str:
+    return _identifier(f"{dimension.name}_{level.name}")
+
+
+def _geometry_column(dialect: str, gtype: GeometricType) -> str:
+    if dialect == "postgis":
+        return f"{GEOMETRY_ATTRIBUTE} {_POSTGIS_GEOM[gtype]}"
+    return f"{GEOMETRY_ATTRIBUTE} TEXT /* WKT, declared {gtype.name} */"
+
+
+def _spatial_index(dialect: str, table: str) -> str:
+    if dialect == "postgis":
+        return (
+            f"CREATE INDEX idx_{table}_geom ON {table} "
+            f"USING GIST ({GEOMETRY_ATTRIBUTE});"
+        )
+    return f"CREATE INDEX idx_{table}_geom ON {table} ({GEOMETRY_ATTRIBUTE});"
+
+
+def _dimension_ddl(
+    schema: MDSchema, dimension: Dimension, dialect: str
+) -> list[str]:
+    statements: list[str] = []
+    spatial_levels = getattr(schema, "spatial_levels", {})
+    # Emit coarsest levels first so FK targets exist.
+    ordered: list[str] = []
+    remaining = set(dimension.levels)
+    while remaining:
+        progressed = False
+        for level_name in sorted(remaining):
+            parents = {
+                coarser
+                for h in dimension.hierarchies.values()
+                for finer, coarser in h.rollup_edges()
+                if finer == level_name
+            }
+            if parents <= set(ordered):
+                ordered.append(level_name)
+                remaining.discard(level_name)
+                progressed = True
+        if not progressed:  # pragma: no cover - dimension ctor forbids cycles
+            raise ModelError(
+                f"cyclic roll-up structure in dimension {dimension.name!r}"
+            )
+
+    for level_name in ordered:
+        level = dimension.level(level_name)
+        table = _level_table(dimension, level)
+        columns = [f"{_identifier(level.name)}_id SERIAL PRIMARY KEY"]
+        for attr in level.attributes.values():
+            if attr.name == GEOMETRY_ATTRIBUTE:
+                continue
+            sql_type = _TYPE_MAP.get(attr.type.name, "VARCHAR(255)")
+            not_null = " NOT NULL" if attr.name == level.key else ""
+            unique = " UNIQUE" if attr.name == level.key else ""
+            columns.append(
+                f"{_identifier(attr.name)} {sql_type}{not_null}{unique}"
+            )
+        ref = f"{dimension.name}.{level.name}"
+        if ref in spatial_levels:
+            columns.append(_geometry_column(dialect, spatial_levels[ref]))
+        for h in dimension.hierarchies.values():
+            for finer, coarser in h.rollup_edges():
+                if finer != level_name:
+                    continue
+                parent_table = _level_table(dimension, dimension.level(coarser))
+                parent_id = f"{_identifier(coarser)}_id"
+                columns.append(
+                    f"{parent_id} INTEGER NOT NULL "
+                    f"REFERENCES {parent_table}({parent_id})"
+                )
+        body = ",\n  ".join(columns)
+        statements.append(f"CREATE TABLE {table} (\n  {body}\n);")
+        if ref in spatial_levels:
+            statements.append(_spatial_index(dialect, table))
+    return statements
+
+
+def _fact_ddl(schema: MDSchema, fact: Fact, dialect: str) -> list[str]:
+    table = _identifier(fact.name)
+    columns = [f"{table}_id SERIAL PRIMARY KEY"]
+    for dim_name in fact.dimension_names:
+        dimension = schema.dimension(dim_name)
+        leaf = dimension.leaf_level
+        leaf_table = _level_table(dimension, leaf)
+        leaf_id = f"{_identifier(leaf.name)}_id"
+        columns.append(
+            f"{_identifier(dim_name)}_{leaf_id} INTEGER NOT NULL "
+            f"REFERENCES {leaf_table}({leaf_id})"
+        )
+    for measure in fact.measures.values():
+        sql_type = _TYPE_MAP[measure.type.name]
+        columns.append(f"{_identifier(measure.name)} {sql_type} NOT NULL")
+    body = ",\n  ".join(columns)
+    statements = [f"CREATE TABLE {table} (\n  {body}\n);"]
+    for dim_name in fact.dimension_names:
+        dimension = schema.dimension(dim_name)
+        leaf_id = f"{_identifier(dim_name)}_{_identifier(dimension.leaf)}_id"
+        statements.append(
+            f"CREATE INDEX idx_{table}_{_identifier(dim_name)} "
+            f"ON {table} ({leaf_id});"
+        )
+    return statements
+
+
+def _layer_ddl(schema: GeoMDSchema, dialect: str) -> list[str]:
+    statements: list[str] = []
+    for layer in schema.layers.values():
+        table = _identifier(f"layer_{layer.name}")
+        columns = [f"feature_id SERIAL PRIMARY KEY"]
+        for attr in layer.attributes.values():
+            sql_type = _TYPE_MAP.get(attr.type.name, "VARCHAR(255)")
+            suffix = " NOT NULL UNIQUE" if attr.name == "name" else ""
+            columns.append(f"{_identifier(attr.name)} {sql_type}{suffix}")
+        columns.append(_geometry_column(dialect, layer.geometric_type))
+        body = ",\n  ".join(columns)
+        statements.append(f"CREATE TABLE {table} (\n  {body}\n);")
+        statements.append(_spatial_index(dialect, table))
+    return statements
+
+
+def generate_ddl(schema: MDSchema, dialect: str = "generic") -> str:
+    """Generate the full star-schema DDL script for a (Geo)MD schema."""
+    if dialect not in DIALECTS:
+        raise ModelError(
+            f"unknown SQL dialect {dialect!r}; expected one of {DIALECTS}"
+        )
+    statements: list[str] = [
+        f"-- Logical star schema for {schema.name!r} ({dialect} dialect)",
+        f"-- Generated by repro.mda (PIM -> PSM transformation)",
+    ]
+    for dimension in schema.dimensions.values():
+        statements.append(f"\n-- Dimension: {dimension.name}")
+        statements.extend(_dimension_ddl(schema, dimension, dialect))
+    for fact in schema.facts.values():
+        statements.append(f"\n-- Fact: {fact.name}")
+        statements.extend(_fact_ddl(schema, fact, dialect))
+    if isinstance(schema, GeoMDSchema) and schema.layers:
+        statements.append("\n-- Thematic layers")
+        statements.extend(_layer_ddl(schema, dialect))
+    return "\n".join(statements) + "\n"

@@ -1,0 +1,43 @@
+"""Multidimensional metamodel (the UML profile of ref [16], typed API).
+
+Facts, dimensions, levels (Base classes), hierarchies with roll-up /
+drill-down roles, measures with additivity — plus path resolution for the
+PRML ``MD.`` prefix, UML export for figure regeneration, serialization
+and structural schema diffing.
+"""
+
+from repro.mdm.diff import SchemaDiff, diff_schemas
+from repro.mdm.model import (
+    Additivity,
+    Aggregator,
+    Attribute,
+    AttributeKind,
+    Dimension,
+    Fact,
+    Hierarchy,
+    Level,
+    MDSchema,
+    Measure,
+    ResolvedAttribute,
+    ResolvedLevel,
+)
+from repro.mdm.uml_export import md_profile, schema_to_uml
+
+__all__ = [
+    "Additivity",
+    "Aggregator",
+    "Attribute",
+    "AttributeKind",
+    "Dimension",
+    "Fact",
+    "Hierarchy",
+    "Level",
+    "MDSchema",
+    "Measure",
+    "ResolvedAttribute",
+    "ResolvedLevel",
+    "SchemaDiff",
+    "diff_schemas",
+    "md_profile",
+    "schema_to_uml",
+]

@@ -1,0 +1,112 @@
+"""Structural diff between two multidimensional schemas.
+
+Used by the personalization tests/benchmarks to assert exactly what a
+schema rule changed — e.g. that ``addSpatiality`` (Example 5.1) added an
+``Airport`` layer and made the ``Store`` level spatial, and nothing else
+(Fig. 2 → Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mdm.model import MDSchema
+
+__all__ = ["SchemaDiff", "diff_schemas"]
+
+
+@dataclass
+class SchemaDiff:
+    """Named change lists between an *old* and a *new* schema."""
+
+    added_dimensions: list[str] = field(default_factory=list)
+    removed_dimensions: list[str] = field(default_factory=list)
+    added_levels: list[str] = field(default_factory=list)  # "Dim.Level"
+    removed_levels: list[str] = field(default_factory=list)
+    added_attributes: list[str] = field(default_factory=list)  # "Dim.Level.attr"
+    removed_attributes: list[str] = field(default_factory=list)
+    added_facts: list[str] = field(default_factory=list)
+    removed_facts: list[str] = field(default_factory=list)
+    added_measures: list[str] = field(default_factory=list)  # "Fact.measure"
+    removed_measures: list[str] = field(default_factory=list)
+    added_layers: list[str] = field(default_factory=list)
+    removed_layers: list[str] = field(default_factory=list)
+    spatialized_levels: list[str] = field(default_factory=list)  # "Dim.Level"
+    despatialized_levels: list[str] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(
+            getattr(self, name)
+            for name in self.__dataclass_fields__  # type: ignore[attr-defined]
+        )
+
+    def summary(self) -> str:
+        """Human-readable multi-line change report."""
+        lines: list[str] = []
+        for name in self.__dataclass_fields__:  # type: ignore[attr-defined]
+            values = getattr(self, name)
+            if values:
+                label = name.replace("_", " ")
+                lines.append(f"{label}: {', '.join(sorted(values))}")
+        return "\n".join(lines) if lines else "(no changes)"
+
+
+def diff_schemas(old: MDSchema, new: MDSchema) -> SchemaDiff:
+    """Compute the structural diff from ``old`` to ``new``.
+
+    Both arguments may be plain :class:`MDSchema` or
+    :class:`~repro.geomd.schema.GeoMDSchema`; layer and spatial-level
+    changes are reported when either side carries them.
+    """
+    diff = SchemaDiff()
+
+    old_dims = set(old.dimensions)
+    new_dims = set(new.dimensions)
+    diff.added_dimensions = sorted(new_dims - old_dims)
+    diff.removed_dimensions = sorted(old_dims - new_dims)
+
+    for dim_name in old_dims & new_dims:
+        old_dim = old.dimensions[dim_name]
+        new_dim = new.dimensions[dim_name]
+        old_levels = set(old_dim.levels)
+        new_levels = set(new_dim.levels)
+        diff.added_levels += [f"{dim_name}.{lv}" for lv in sorted(new_levels - old_levels)]
+        diff.removed_levels += [
+            f"{dim_name}.{lv}" for lv in sorted(old_levels - new_levels)
+        ]
+        for level_name in old_levels & new_levels:
+            old_attrs = set(old_dim.levels[level_name].attributes)
+            new_attrs = set(new_dim.levels[level_name].attributes)
+            diff.added_attributes += [
+                f"{dim_name}.{level_name}.{a}" for a in sorted(new_attrs - old_attrs)
+            ]
+            diff.removed_attributes += [
+                f"{dim_name}.{level_name}.{a}" for a in sorted(old_attrs - new_attrs)
+            ]
+
+    old_facts = set(old.facts)
+    new_facts = set(new.facts)
+    diff.added_facts = sorted(new_facts - old_facts)
+    diff.removed_facts = sorted(old_facts - new_facts)
+    for fact_name in old_facts & new_facts:
+        old_measures = set(old.facts[fact_name].measures)
+        new_measures = set(new.facts[fact_name].measures)
+        diff.added_measures += [
+            f"{fact_name}.{m}" for m in sorted(new_measures - old_measures)
+        ]
+        diff.removed_measures += [
+            f"{fact_name}.{m}" for m in sorted(old_measures - new_measures)
+        ]
+
+    old_layers = set(getattr(old, "layers", {}) or {})
+    new_layers = set(getattr(new, "layers", {}) or {})
+    diff.added_layers = sorted(new_layers - old_layers)
+    diff.removed_layers = sorted(old_layers - new_layers)
+
+    old_spatial = set(getattr(old, "spatial_levels", {}) or {})
+    new_spatial = set(getattr(new, "spatial_levels", {}) or {})
+    diff.spatialized_levels = sorted(new_spatial - old_spatial)
+    diff.despatialized_levels = sorted(old_spatial - new_spatial)
+
+    return diff

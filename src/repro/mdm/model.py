@@ -1,0 +1,614 @@
+"""The multidimensional (MD) metamodel — facts, dimensions, levels.
+
+This is the reproduction of the UML profile for multidimensional modeling
+of Luján-Mora, Trujillo & Song (ref [16] of the paper), which the paper's
+Fig. 2 instantiates for the sales cube:
+
+* a **Fact** holds the measures of the analysis (*FactAttributes*);
+* a **Dimension** holds the contexts of analysis, structured as a lattice
+  of **Base** classes (levels);
+* each Base class has **Descriptor** / **DimensionAttribute** properties;
+* associations between Base classes carry roles ``r`` (roll-up, towards
+  coarser data) and ``d`` (drill-down, towards finer data).
+
+The typed API below is what the rest of the system consumes; it compiles
+to the UML representation (:mod:`repro.mdm.uml_export`) for figure
+regeneration, and instances live in the star-schema storage
+(:mod:`repro.storage`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.uml.core import DataType, STRING
+
+__all__ = [
+    "AttributeKind",
+    "Additivity",
+    "Aggregator",
+    "Attribute",
+    "Level",
+    "Hierarchy",
+    "Dimension",
+    "Measure",
+    "Fact",
+    "MDSchema",
+    "ResolvedAttribute",
+    "ResolvedLevel",
+]
+
+
+class AttributeKind(enum.Enum):
+    """Stereotype of a level attribute in the MD profile."""
+
+    DESCRIPTOR = "Descriptor"
+    DIMENSION_ATTRIBUTE = "DimensionAttribute"
+
+
+class Additivity(enum.Enum):
+    """Summarizability class of a measure."""
+
+    ADDITIVE = "additive"
+    SEMI_ADDITIVE = "semi-additive"
+    NON_ADDITIVE = "non-additive"
+
+
+class Aggregator(enum.Enum):
+    """Aggregation functions supported by the OLAP engine."""
+
+    SUM = "SUM"
+    COUNT = "COUNT"
+    MIN = "MIN"
+    MAX = "MAX"
+    AVG = "AVG"
+    COUNT_DISTINCT = "COUNT_DISTINCT"
+
+
+class Attribute:
+    """A named, typed attribute of a level (a Descriptor by default)."""
+
+    def __init__(
+        self,
+        name: str,
+        type_: DataType = STRING,
+        kind: AttributeKind = AttributeKind.DIMENSION_ATTRIBUTE,
+    ) -> None:
+        if not name:
+            raise SchemaError("attributes require a name")
+        self.name = name
+        self.type = type_
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"<Attribute {self.name}:{self.type.name} {self.kind.value}>"
+
+
+class Level:
+    """A Base class of a dimension hierarchy.
+
+    ``key`` names the Descriptor attribute identifying members of the
+    level.  It is created automatically when not supplied.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[Attribute] = (),
+        key: str | None = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("levels require a name")
+        self.name = name
+        self.attributes: dict[str, Attribute] = {}
+        for attr in attributes:
+            self.add_attribute(attr)
+        if key is None:
+            key = "name"
+            if key not in self.attributes:
+                self.add_attribute(
+                    Attribute(key, STRING, AttributeKind.DESCRIPTOR)
+                )
+        if key not in self.attributes:
+            raise SchemaError(
+                f"level {name!r}: key attribute {key!r} is not defined"
+            )
+        self.key = key
+        self.attributes[key].kind = AttributeKind.DESCRIPTOR
+
+    def add_attribute(self, attr: Attribute) -> Attribute:
+        if attr.name in self.attributes:
+            raise SchemaError(
+                f"level {self.name!r} already has attribute {attr.name!r}"
+            )
+        self.attributes[attr.name] = attr
+        return attr
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise SchemaError(
+                f"level {self.name!r} has no attribute {name!r}; "
+                f"available: {sorted(self.attributes)}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"<Level {self.name} key={self.key}>"
+
+
+class Hierarchy:
+    """A linear aggregation path through levels, finest first.
+
+    ``path[i]`` rolls up (role ``r``) to ``path[i+1]``; conversely
+    ``path[i+1]`` drills down (role ``d``) to ``path[i]``.
+    """
+
+    def __init__(self, name: str, path: Iterable[str]) -> None:
+        if not name:
+            raise SchemaError("hierarchies require a name")
+        self.name = name
+        self.path: tuple[str, ...] = tuple(path)
+        if len(self.path) < 1:
+            raise SchemaError(f"hierarchy {name!r} requires at least one level")
+        if len(set(self.path)) != len(self.path):
+            raise SchemaError(f"hierarchy {name!r} repeats a level")
+
+    def rollup_edges(self) -> Iterator[tuple[str, str]]:
+        """Yield (finer, coarser) level-name pairs along the path."""
+        for i in range(len(self.path) - 1):
+            yield self.path[i], self.path[i + 1]
+
+    def __repr__(self) -> str:
+        return f"<Hierarchy {self.name}: {' -> '.join(self.path)}>"
+
+
+class Dimension:
+    """A context of analysis: a leaf level plus aggregation hierarchies."""
+
+    def __init__(
+        self,
+        name: str,
+        levels: Iterable[Level],
+        hierarchies: Iterable[Hierarchy] = (),
+        leaf: str | None = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("dimensions require a name")
+        self.name = name
+        self.levels: dict[str, Level] = {}
+        for level in levels:
+            if level.name in self.levels:
+                raise SchemaError(
+                    f"dimension {name!r} already has level {level.name!r}"
+                )
+            self.levels[level.name] = level
+        if not self.levels:
+            raise SchemaError(f"dimension {name!r} requires at least one level")
+        if leaf is None:
+            leaf = name if name in self.levels else next(iter(self.levels))
+        if leaf not in self.levels:
+            raise SchemaError(
+                f"dimension {name!r}: leaf level {leaf!r} is not defined"
+            )
+        self.leaf = leaf
+        self.hierarchies: dict[str, Hierarchy] = {}
+        for hierarchy in hierarchies:
+            self.add_hierarchy(hierarchy)
+        if not self.hierarchies:
+            self.add_hierarchy(Hierarchy("default", [self.leaf]))
+        self._validate()
+
+    def add_hierarchy(self, hierarchy: Hierarchy) -> Hierarchy:
+        if hierarchy.name in self.hierarchies:
+            raise SchemaError(
+                f"dimension {self.name!r} already has hierarchy "
+                f"{hierarchy.name!r}"
+            )
+        for level_name in hierarchy.path:
+            if level_name not in self.levels:
+                raise SchemaError(
+                    f"hierarchy {hierarchy.name!r} of dimension {self.name!r} "
+                    f"references unknown level {level_name!r}"
+                )
+        if hierarchy.path[0] != self.leaf:
+            raise SchemaError(
+                f"hierarchy {hierarchy.name!r} of dimension {self.name!r} "
+                f"must start at the leaf level {self.leaf!r}"
+            )
+        self.hierarchies[hierarchy.name] = hierarchy
+        return hierarchy
+
+    def _validate(self) -> None:
+        # The union of roll-up edges must be acyclic (it is a DAG rooted at
+        # the leaf; linear hierarchies guarantee this unless two hierarchies
+        # disagree on direction).
+        edges = {
+            edge for h in self.hierarchies.values() for edge in h.rollup_edges()
+        }
+        for finer, coarser in edges:
+            if (coarser, finer) in edges:
+                raise SchemaError(
+                    f"dimension {self.name!r}: levels {finer!r} and "
+                    f"{coarser!r} roll up to each other"
+                )
+
+    def level(self, name: str) -> Level:
+        try:
+            return self.levels[name]
+        except KeyError:
+            raise SchemaError(
+                f"dimension {self.name!r} has no level {name!r}; "
+                f"available: {sorted(self.levels)}"
+            ) from None
+
+    @property
+    def leaf_level(self) -> Level:
+        return self.levels[self.leaf]
+
+    def rollup_path(self, level_name: str) -> tuple[str, ...]:
+        """The leaf→level path of the first hierarchy containing the level."""
+        for hierarchy in self.hierarchies.values():
+            if level_name in hierarchy.path:
+                idx = hierarchy.path.index(level_name)
+                return hierarchy.path[: idx + 1]
+        raise SchemaError(
+            f"dimension {self.name!r}: level {level_name!r} is not on any "
+            f"hierarchy"
+        )
+
+    def parent_level(self, level_name: str) -> str | None:
+        """Immediate roll-up target of a level (first hierarchy that has one)."""
+        for hierarchy in self.hierarchies.values():
+            for finer, coarser in hierarchy.rollup_edges():
+                if finer == level_name:
+                    return coarser
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Dimension {self.name} levels={sorted(self.levels)}>"
+
+
+class Measure:
+    """A FactAttribute: a numeric property of the fact."""
+
+    def __init__(
+        self,
+        name: str,
+        type_: DataType,
+        default_aggregator: Aggregator = Aggregator.SUM,
+        additivity: Additivity = Additivity.ADDITIVE,
+    ) -> None:
+        if not name:
+            raise SchemaError("measures require a name")
+        if type_.name not in ("Integer", "Real"):
+            raise SchemaError(
+                f"measure {name!r} must be numeric, got {type_.name}"
+            )
+        if additivity is Additivity.NON_ADDITIVE and default_aggregator in (
+            Aggregator.SUM,
+        ):
+            raise SchemaError(
+                f"measure {name!r} is non-additive; SUM cannot be its default"
+            )
+        self.name = name
+        self.type = type_
+        self.default_aggregator = default_aggregator
+        self.additivity = additivity
+
+    def __repr__(self) -> str:
+        return f"<Measure {self.name}:{self.type.name}>"
+
+
+class Fact:
+    """A Fact class: measures plus the dimensions that contextualize them."""
+
+    def __init__(
+        self,
+        name: str,
+        dimension_names: Iterable[str],
+        measures: Iterable[Measure],
+    ) -> None:
+        if not name:
+            raise SchemaError("facts require a name")
+        self.name = name
+        self.dimension_names: tuple[str, ...] = tuple(dimension_names)
+        if len(set(self.dimension_names)) != len(self.dimension_names):
+            raise SchemaError(f"fact {name!r} repeats a dimension")
+        if not self.dimension_names:
+            raise SchemaError(f"fact {name!r} requires at least one dimension")
+        self.measures: dict[str, Measure] = {}
+        for measure in measures:
+            if measure.name in self.measures:
+                raise SchemaError(
+                    f"fact {name!r} already has measure {measure.name!r}"
+                )
+            self.measures[measure.name] = measure
+        if not self.measures:
+            raise SchemaError(f"fact {name!r} requires at least one measure")
+
+    def measure(self, name: str) -> Measure:
+        try:
+            return self.measures[name]
+        except KeyError:
+            raise SchemaError(
+                f"fact {self.name!r} has no measure {name!r}; "
+                f"available: {sorted(self.measures)}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"<Fact {self.name} dims={list(self.dimension_names)}>"
+
+
+class ResolvedLevel:
+    """Resolution result: a level reached through fact/dimension steps."""
+
+    def __init__(self, dimension: Dimension, level: Level, fact: Fact | None) -> None:
+        self.dimension = dimension
+        self.level = level
+        self.fact = fact
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.dimension.name}.{self.level.name}"
+
+    def __repr__(self) -> str:
+        return f"<ResolvedLevel {self.qualified_name}>"
+
+
+class ResolvedAttribute:
+    """Resolution result: an attribute of a level (or a fact measure)."""
+
+    def __init__(
+        self,
+        attribute: Attribute | Measure,
+        level: ResolvedLevel | None = None,
+        fact: Fact | None = None,
+    ) -> None:
+        self.attribute = attribute
+        self.level = level
+        self.fact = fact
+
+    @property
+    def qualified_name(self) -> str:
+        if self.level is not None:
+            return f"{self.level.qualified_name}.{self.attribute.name}"
+        assert self.fact is not None
+        return f"{self.fact.name}.{self.attribute.name}"
+
+    def __repr__(self) -> str:
+        return f"<ResolvedAttribute {self.qualified_name}>"
+
+
+class MDSchema:
+    """A multidimensional schema: shared dimensions plus facts.
+
+    Path resolution (:meth:`resolve`) implements the ``MD.`` prefix
+    navigation of PRML Section 4.2.2: the source concept is always a Fact
+    class, then a dimension, then optionally coarser levels, ending at an
+    attribute or a level.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dimensions: Iterable[Dimension],
+        facts: Iterable[Fact],
+    ) -> None:
+        if not name:
+            raise SchemaError("schemas require a name")
+        self.name = name
+        self.dimensions: dict[str, Dimension] = {}
+        for dimension in dimensions:
+            if dimension.name in self.dimensions:
+                raise SchemaError(
+                    f"schema {name!r} already has dimension {dimension.name!r}"
+                )
+            self.dimensions[dimension.name] = dimension
+        self.facts: dict[str, Fact] = {}
+        for fact in facts:
+            if fact.name in self.facts:
+                raise SchemaError(
+                    f"schema {name!r} already has fact {fact.name!r}"
+                )
+            for dim_name in fact.dimension_names:
+                if dim_name not in self.dimensions:
+                    raise SchemaError(
+                        f"fact {fact.name!r} references unknown dimension "
+                        f"{dim_name!r}"
+                    )
+            self.facts[fact.name] = fact
+
+    # -- lookup --------------------------------------------------------------
+
+    def dimension(self, name: str) -> Dimension:
+        try:
+            return self.dimensions[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no dimension {name!r}; "
+                f"available: {sorted(self.dimensions)}"
+            ) from None
+
+    def fact(self, name: str) -> Fact:
+        try:
+            return self.facts[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no fact {name!r}; "
+                f"available: {sorted(self.facts)}"
+            ) from None
+
+    def default_fact(self) -> Fact:
+        if len(self.facts) != 1:
+            raise SchemaError(
+                f"schema {self.name!r} has {len(self.facts)} facts; "
+                f"name one explicitly"
+            )
+        return next(iter(self.facts.values()))
+
+    # -- path resolution -------------------------------------------------------
+
+    def resolve(self, steps: Iterable[str]) -> ResolvedAttribute | ResolvedLevel:
+        """Resolve a dotted MD path.
+
+        Accepted shapes (mirroring the paper's examples):
+
+        * ``Fact.Measure``                      → measure
+        * ``Fact.Dimension``                    → leaf level
+        * ``Fact.Dimension.attr``               → leaf-level attribute
+        * ``Fact.Dimension.Level``              → level
+        * ``Fact.Dimension.Level.attr``         → level attribute
+        * ``Dimension...`` (fact omitted)       → same, when unambiguous
+        """
+        parts = list(steps)
+        if not parts:
+            raise SchemaError("empty MD path")
+        fact: Fact | None = None
+        if parts[0] in self.facts:
+            fact = self.facts[parts[0]]
+            parts = parts[1:]
+            if not parts:
+                raise SchemaError(
+                    f"MD path ends at fact {fact.name!r}; expected a measure "
+                    f"or dimension step"
+                )
+            if parts[0] in fact.measures and len(parts) == 1:
+                return ResolvedAttribute(fact.measures[parts[0]], fact=fact)
+        if parts[0] not in self.dimensions:
+            raise SchemaError(
+                f"cannot resolve MD step {parts[0]!r}: not a fact, measure "
+                f"or dimension of schema {self.name!r}"
+            )
+        dimension = self.dimensions[parts[0]]
+        if fact is not None and dimension.name not in fact.dimension_names:
+            raise SchemaError(
+                f"dimension {dimension.name!r} does not contextualize fact "
+                f"{fact.name!r}"
+            )
+        parts = parts[1:]
+        level = dimension.leaf_level
+        while parts:
+            step = parts[0]
+            if step in dimension.levels and dimension.levels[step] is not level:
+                level = dimension.levels[step]
+                parts = parts[1:]
+                continue
+            if step in level.attributes:
+                if len(parts) > 1:
+                    raise SchemaError(
+                        f"MD path continues past attribute {step!r} of level "
+                        f"{level.name!r}"
+                    )
+                return ResolvedAttribute(
+                    level.attributes[step],
+                    level=ResolvedLevel(dimension, level, fact),
+                )
+            raise SchemaError(
+                f"cannot resolve MD step {step!r} from level {level.name!r} "
+                f"of dimension {dimension.name!r} (levels: "
+                f"{sorted(dimension.levels)}; attributes: "
+                f"{sorted(level.attributes)})"
+            )
+        return ResolvedLevel(dimension, level, fact)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of the schema structure."""
+        return {
+            "name": self.name,
+            "dimensions": [
+                {
+                    "name": d.name,
+                    "leaf": d.leaf,
+                    "levels": [
+                        {
+                            "name": lv.name,
+                            "key": lv.key,
+                            "attributes": [
+                                {
+                                    "name": a.name,
+                                    "type": a.type.name,
+                                    "kind": a.kind.value,
+                                }
+                                for a in lv.attributes.values()
+                            ],
+                        }
+                        for lv in d.levels.values()
+                    ],
+                    "hierarchies": [
+                        {"name": h.name, "path": list(h.path)}
+                        for h in d.hierarchies.values()
+                    ],
+                }
+                for d in self.dimensions.values()
+            ],
+            "facts": [
+                {
+                    "name": f.name,
+                    "dimensions": list(f.dimension_names),
+                    "measures": [
+                        {
+                            "name": m.name,
+                            "type": m.type.name,
+                            "aggregator": m.default_aggregator.value,
+                            "additivity": m.additivity.value,
+                        }
+                        for m in f.measures.values()
+                    ],
+                }
+                for f in self.facts.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MDSchema":
+        """Rebuild a schema from :meth:`to_dict` output."""
+        from repro.uml.core import BOOLEAN, DATE, GEOMETRY, INTEGER, REAL, STRING
+
+        types = {t.name: t for t in (STRING, INTEGER, REAL, BOOLEAN, GEOMETRY, DATE)}
+        dimensions = []
+        for dim_data in data["dimensions"]:
+            levels = []
+            for level_data in dim_data["levels"]:
+                attributes = [
+                    Attribute(
+                        a["name"],
+                        types[a["type"]],
+                        AttributeKind(a["kind"]),
+                    )
+                    for a in level_data["attributes"]
+                ]
+                levels.append(
+                    Level(level_data["name"], attributes, key=level_data["key"])
+                )
+            hierarchies = [
+                Hierarchy(h["name"], h["path"]) for h in dim_data["hierarchies"]
+            ]
+            dimensions.append(
+                Dimension(
+                    dim_data["name"], levels, hierarchies, leaf=dim_data["leaf"]
+                )
+            )
+        facts = []
+        for fact_data in data["facts"]:
+            measures = [
+                Measure(
+                    m["name"],
+                    types[m["type"]],
+                    Aggregator(m["aggregator"]),
+                    Additivity(m["additivity"]),
+                )
+                for m in fact_data["measures"]
+            ]
+            facts.append(Fact(fact_data["name"], fact_data["dimensions"], measures))
+        return cls(data["name"], dimensions, facts)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MDSchema {self.name} facts={sorted(self.facts)} "
+            f"dims={sorted(self.dimensions)}>"
+        )

@@ -1,0 +1,138 @@
+"""Compile an MD schema to its UML-profile representation.
+
+The paper's figures are UML class diagrams; this module rebuilds them from
+the typed :class:`~repro.mdm.model.MDSchema` so that FIG2/FIG6 can be
+regenerated and asserted on.  The profile mirrors ref [16]:
+
+* ``<<Fact>>`` classes with ``<<FactAttribute>>`` properties;
+* ``<<Dimension>>`` classes;
+* ``<<Base>>`` classes per level, with ``<<Descriptor>>`` /
+  ``<<DimensionAttribute>>`` properties;
+* ``<<Rolls-upTo>>`` associations between consecutive levels with the
+  paper's ``r`` (roll-up) and ``d`` (drill-down) roles.
+"""
+
+from __future__ import annotations
+
+from repro.mdm.model import AttributeKind, Dimension, Fact, MDSchema
+from repro.uml.core import (
+    Association,
+    AssociationEnd,
+    Model,
+    Profile,
+    Property,
+    Stereotype,
+    UMLClass,
+)
+
+__all__ = ["md_profile", "schema_to_uml"]
+
+
+def md_profile() -> Profile:
+    """The UML profile for multidimensional modeling (ref [16])."""
+    return Profile(
+        "MDProfile",
+        [
+            Stereotype("Fact", "Class"),
+            Stereotype("Dimension", "Class"),
+            Stereotype("Base", "Class"),
+            Stereotype("FactAttribute", "Property"),
+            Stereotype("Descriptor", "Property"),
+            Stereotype("DimensionAttribute", "Property"),
+            Stereotype("Rolls-upTo", "Association"),
+        ],
+    )
+
+
+def _level_class_name(dimension: Dimension, level_name: str) -> str:
+    """Level classes are prefixed by their dimension when names collide."""
+    if level_name == dimension.name:
+        return level_name
+    return level_name
+
+
+def _export_dimension(model: Model, profile: Profile, dimension: Dimension) -> None:
+    dim_cls = UMLClass(dimension.name + "Dim" if dimension.name in dimension.levels else dimension.name)
+    model.add_class(dim_cls)
+    profile.apply(dim_cls, "Dimension")
+    for level in dimension.levels.values():
+        level_cls = UMLClass(_level_class_name(dimension, level.name))
+        if level_cls.name in model.classes:
+            # Shared level names across dimensions get qualified.
+            level_cls = UMLClass(f"{dimension.name}_{level.name}")
+        model.add_class(level_cls)
+        profile.apply(level_cls, "Base")
+        for attr in level.attributes.values():
+            prop = level_cls.add_property(Property(attr.name, attr.type))
+            stereotype = (
+                "Descriptor"
+                if attr.kind is AttributeKind.DESCRIPTOR
+                else "DimensionAttribute"
+            )
+            profile.apply(prop, stereotype)
+    # Dimension -> leaf level association.
+    leaf_cls = _find_level_class(model, dimension, dimension.leaf)
+    assoc = Association(
+        f"{dim_cls.name}_to_{leaf_cls.name}",
+        AssociationEnd("dim", dim_cls, 1, 1),
+        AssociationEnd("leaf", leaf_cls, 1, 1),
+    )
+    model.add_association(assoc)
+    # Roll-up associations.
+    seen: set[tuple[str, str]] = set()
+    for hierarchy in dimension.hierarchies.values():
+        for finer, coarser in hierarchy.rollup_edges():
+            if (finer, coarser) in seen:
+                continue
+            seen.add((finer, coarser))
+            finer_cls = _find_level_class(model, dimension, finer)
+            coarser_cls = _find_level_class(model, dimension, coarser)
+            rollup = Association(
+                f"{finer_cls.name}_rollsup_{coarser_cls.name}",
+                AssociationEnd("d", finer_cls, 1, None),
+                AssociationEnd("r", coarser_cls, 1, 1),
+            )
+            model.add_association(rollup)
+            profile.apply(rollup, "Rolls-upTo")
+
+
+def _find_level_class(model: Model, dimension: Dimension, level_name: str) -> UMLClass:
+    name = _level_class_name(dimension, level_name)
+    if name in model.classes:
+        return model.classes[name]
+    return model.classes[f"{dimension.name}_{level_name}"]
+
+
+def _export_fact(model: Model, profile: Profile, schema: MDSchema, fact: Fact) -> None:
+    fact_cls = UMLClass(fact.name)
+    model.add_class(fact_cls)
+    profile.apply(fact_cls, "Fact")
+    for measure in fact.measures.values():
+        prop = fact_cls.add_property(Property(measure.name, measure.type))
+        profile.apply(prop, "FactAttribute")
+    for dim_name in fact.dimension_names:
+        dimension = schema.dimension(dim_name)
+        dim_cls_name = (
+            dimension.name + "Dim"
+            if dimension.name in dimension.levels
+            else dimension.name
+        )
+        dim_cls = model.classes[dim_cls_name]
+        assoc = Association(
+            f"{fact.name}_to_{dim_cls.name}",
+            AssociationEnd("fact", fact_cls, 0, None),
+            AssociationEnd(dim_name.lower(), dim_cls, 1, 1),
+        )
+        model.add_association(assoc)
+
+
+def schema_to_uml(schema: MDSchema) -> Model:
+    """Build the UML model (with MD profile applied) for a schema."""
+    model = Model(schema.name)
+    profile = md_profile()
+    model.apply_profile(profile)
+    for dimension in schema.dimensions.values():
+        _export_dimension(model, profile, dimension)
+    for fact in schema.facts.values():
+        _export_fact(model, profile, schema, fact)
+    return model

@@ -1,0 +1,45 @@
+"""Spatial OLAP engine: cube queries, navigation, spatial aggregation.
+
+The warehouse-analysis substrate the paper's rules personalize: cube
+queries with attribute and spatial filters, roll-up/drill-down/slice/dice
+navigation, da Silva-style spatial aggregation functions and the
+GeoMDQL-lite text query language.
+"""
+
+from repro.olap.cube import Cube
+from repro.olap.gmdql import parse_query
+from repro.olap.query import (
+    AggSpec,
+    AttributeFilter,
+    CellSet,
+    ComparisonOp,
+    CubeQuery,
+    LayerRef,
+    LevelRef,
+    SpatialFilter,
+    SpatialRelation,
+    execute,
+)
+from repro.olap.spatial_agg import (
+    SpatialAggregator,
+    aggregate_geometries,
+    spatial_rollup,
+)
+
+__all__ = [
+    "AggSpec",
+    "AttributeFilter",
+    "CellSet",
+    "ComparisonOp",
+    "Cube",
+    "CubeQuery",
+    "LayerRef",
+    "LevelRef",
+    "SpatialAggregator",
+    "SpatialFilter",
+    "SpatialRelation",
+    "aggregate_geometries",
+    "execute",
+    "parse_query",
+    "spatial_rollup",
+]

@@ -1,0 +1,465 @@
+"""Cube queries over a star schema: grouping, filtering, aggregation.
+
+This is the OLAP substrate the paper assumes under its BI tools.  A
+:class:`CubeQuery` names a fact, aggregation specs, grouping levels and
+filters; :func:`execute` scans the fact table (optionally restricted to a
+personalized row selection — the output of ``SelectInstance`` rules) and
+produces a :class:`CellSet`.
+
+Two filter families exist:
+
+* :class:`AttributeFilter` — classic value predicates on level attributes;
+* :class:`SpatialFilter` — the paper's geographic conditions: a spatial
+  level's member geometry against a thematic layer or literal geometry,
+  via the PRML operator set (Intersect/Disjoint/Inside/Distance...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.geomd.schema import GeoMDSchema
+from repro.geometry import Geometry, PlanarMetric, Metric
+from repro.geometry import contains as g_contains
+from repro.geometry import crosses as g_crosses
+from repro.geometry import disjoint as g_disjoint
+from repro.geometry import equals as g_equals
+from repro.geometry import intersects as g_intersects
+from repro.geometry import within as g_within
+from repro.mdm.model import Aggregator, MDSchema
+from repro.storage.star import StarSchema
+
+__all__ = [
+    "LevelRef",
+    "AggSpec",
+    "ComparisonOp",
+    "AttributeFilter",
+    "SpatialRelation",
+    "SpatialFilter",
+    "LayerRef",
+    "CubeQuery",
+    "CellSet",
+    "execute",
+]
+
+
+@dataclass(frozen=True)
+class LevelRef:
+    """Reference to a dimension level, e.g. ``Store.City``."""
+
+    dimension: str
+    level: str | None = None
+
+    @classmethod
+    def parse(cls, text: str) -> "LevelRef":
+        parts = text.split(".")
+        if len(parts) == 1:
+            return cls(parts[0])
+        if len(parts) == 2:
+            return cls(parts[0], parts[1])
+        raise QueryError(f"bad level reference {text!r}; expected 'Dim[.Level]'")
+
+    def resolve_level(self, schema: MDSchema) -> str:
+        dimension = schema.dimension(self.dimension)
+        if self.level is None:
+            return dimension.leaf
+        dimension.level(self.level)  # existence check
+        return self.level
+
+    def __str__(self) -> str:
+        return self.dimension if self.level is None else f"{self.dimension}.{self.level}"
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregation column: ``SUM(UnitSales)``, ``COUNT(*)``..."""
+
+    aggregator: Aggregator
+    measure: str = "*"
+
+    @property
+    def label(self) -> str:
+        return f"{self.aggregator.value}({self.measure})"
+
+
+class ComparisonOp(enum.Enum):
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IN = "IN"
+
+    def apply(self, left: object, right: object) -> bool:
+        if self is ComparisonOp.EQ:
+            return left == right
+        if self is ComparisonOp.NE:
+            return left != right
+        if self is ComparisonOp.IN:
+            if not isinstance(right, (list, tuple, set, frozenset)):
+                raise QueryError("IN requires a collection right-hand side")
+            return left in right
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            # Fall back to string ordering for non-numeric operands.
+            left, right = str(left), str(right)
+        if self is ComparisonOp.LT:
+            return left < right  # type: ignore[operator]
+        if self is ComparisonOp.LE:
+            return left <= right  # type: ignore[operator]
+        if self is ComparisonOp.GT:
+            return left > right  # type: ignore[operator]
+        return left >= right  # type: ignore[operator]
+
+
+@dataclass(frozen=True)
+class AttributeFilter:
+    """Keep facts whose member at ``ref`` satisfies ``attribute op value``."""
+
+    ref: LevelRef
+    attribute: str
+    op: ComparisonOp
+    value: object
+
+
+class SpatialRelation(enum.Enum):
+    """The paper's boolean spatial operators plus distance comparison."""
+
+    INTERSECT = "Intersect"
+    DISJOINT = "Disjoint"
+    CROSS = "Cross"
+    INSIDE = "Inside"
+    EQUALS = "Equals"
+    CONTAINS = "Contains"
+    DISTANCE = "Distance"
+
+
+@dataclass(frozen=True)
+class LayerRef:
+    """Reference to a thematic layer by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SpatialFilter:
+    """Keep facts whose member geometry relates to a layer/geometry.
+
+    For non-distance relations: the member geometry must satisfy the
+    relation against **at least one** feature of the target layer (or the
+    literal geometry).  For ``DISTANCE``: the *minimum* distance from the
+    member geometry to the target is compared via ``op threshold`` (metres).
+    """
+
+    ref: LevelRef
+    relation: SpatialRelation
+    target: LayerRef | Geometry
+    op: ComparisonOp | None = None
+    threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.relation is SpatialRelation.DISTANCE:
+            if self.op is None or self.threshold is None:
+                raise QueryError(
+                    "DISTANCE spatial filters require op and threshold"
+                )
+        elif self.op is not None or self.threshold is not None:
+            raise QueryError(
+                f"{self.relation.value} spatial filters take no op/threshold"
+            )
+
+
+@dataclass
+class CubeQuery:
+    """A complete OLAP query."""
+
+    fact: str
+    aggregations: Sequence[AggSpec]
+    group_by: Sequence[LevelRef] = field(default_factory=tuple)
+    where: Sequence[AttributeFilter | SpatialFilter] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.aggregations:
+            raise QueryError("a cube query needs at least one aggregation")
+
+
+class CellSet:
+    """Query result: axes (grouping refs) and measure cells."""
+
+    def __init__(
+        self,
+        axes: Sequence[LevelRef],
+        labels: Sequence[str],
+        cells: Mapping[tuple[str, ...], tuple[float, ...]],
+        fact_rows_scanned: int,
+        fact_rows_matched: int,
+    ) -> None:
+        self.axes = tuple(axes)
+        self.labels = tuple(labels)
+        self.cells = dict(cells)
+        self.fact_rows_scanned = fact_rows_scanned
+        self.fact_rows_matched = fact_rows_matched
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def value(self, coordinate: tuple[str, ...] | str, label: str | None = None) -> float:
+        """Value of one cell; ``label`` defaults to the only aggregation."""
+        if isinstance(coordinate, str):
+            coordinate = (coordinate,)
+        if label is None:
+            if len(self.labels) != 1:
+                raise QueryError(
+                    f"cell set has {len(self.labels)} measures; name one of "
+                    f"{list(self.labels)}"
+                )
+            label = self.labels[0]
+        try:
+            values = self.cells[coordinate]
+        except KeyError:
+            raise QueryError(
+                f"no cell at {coordinate!r}; coordinates: "
+                f"{sorted(self.cells)[:10]}..."
+            ) from None
+        return values[self.labels.index(label)]
+
+    def to_rows(self) -> list[tuple]:
+        """Sorted ``(coordinate..., value...)`` tuples."""
+        return [
+            coord + self.cells[coord] for coord in sorted(self.cells)
+        ]
+
+    def format_table(self) -> str:
+        """Fixed-width text table (benchmark harness output)."""
+        headers = [str(a) for a in self.axes] + list(self.labels)
+        rows = [
+            [str(part) for part in coord]
+            + [f"{v:.2f}" if isinstance(v, float) else str(v) for v in values]
+            for coord, values in sorted(self.cells.items())
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in rows
+        )
+        return "\n".join(lines)
+
+
+class _Accumulator:
+    """Streaming accumulator for one aggregation spec."""
+
+    __slots__ = ("spec", "count", "total", "min", "max", "distinct")
+
+    def __init__(self, spec: AggSpec) -> None:
+        self.spec = spec
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.distinct: set[float] | None = (
+            set() if spec.aggregator is Aggregator.COUNT_DISTINCT else None
+        )
+
+    def add(self, value: float | None) -> None:
+        self.count += 1
+        if value is None:
+            return
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if self.distinct is not None:
+            self.distinct.add(value)
+
+    def result(self) -> float:
+        agg = self.spec.aggregator
+        if agg is Aggregator.COUNT:
+            return float(self.count)
+        if agg is Aggregator.COUNT_DISTINCT:
+            assert self.distinct is not None
+            return float(len(self.distinct))
+        if agg is Aggregator.SUM:
+            return self.total
+        if agg is Aggregator.AVG:
+            return self.total / self.count if self.count else 0.0
+        if agg is Aggregator.MIN:
+            return self.min if self.min is not None else 0.0
+        return self.max if self.max is not None else 0.0
+
+
+def _relation_predicate(relation: SpatialRelation):
+    return {
+        SpatialRelation.INTERSECT: g_intersects,
+        SpatialRelation.DISJOINT: g_disjoint,
+        SpatialRelation.CROSS: g_crosses,
+        SpatialRelation.INSIDE: g_within,
+        SpatialRelation.EQUALS: g_equals,
+        SpatialRelation.CONTAINS: g_contains,
+    }[relation]
+
+
+def _allowed_keys_for_attribute_filter(
+    star: StarSchema, flt: AttributeFilter
+) -> set[str]:
+    schema = star.schema
+    level = flt.ref.resolve_level(schema)
+    table = star.dimension_table(flt.ref.dimension)
+    matching = {
+        member.key
+        for member in table.members(level)
+        if flt.op.apply(member.attributes.get(flt.attribute), flt.value)
+    }
+    if level == table.dimension.leaf:
+        return matching
+    return star.leaf_keys_rolled_to(flt.ref.dimension, level, matching)
+
+
+def _target_geometries(star: StarSchema, target: LayerRef | Geometry) -> list[Geometry]:
+    if isinstance(target, LayerRef):
+        return [f.geometry for f in star.layer_table(target.name).features()]
+    return [target]
+
+
+def _allowed_keys_for_spatial_filter(
+    star: StarSchema, flt: SpatialFilter, metric: Metric
+) -> set[str]:
+    schema = star.schema
+    if not isinstance(schema, GeoMDSchema):
+        raise QueryError(
+            "spatial filters require a GeoMD schema (run schema "
+            "personalization first)"
+        )
+    level = flt.ref.resolve_level(schema)
+    ref = f"{flt.ref.dimension}.{level}"
+    if ref not in schema.spatial_levels:
+        raise QueryError(
+            f"level {ref} is not spatial; apply BecomeSpatial first "
+            f"(spatial levels: {sorted(schema.spatial_levels)})"
+        )
+    targets = _target_geometries(star, flt.target)
+    table = star.dimension_table(flt.ref.dimension)
+    matching: set[str] = set()
+    for member in table.members(level):
+        geometry = member.geometry
+        if geometry is None:
+            continue
+        if flt.relation is SpatialRelation.DISTANCE:
+            if not targets:
+                continue
+            assert flt.op is not None and flt.threshold is not None
+            min_d = min(metric.distance(geometry, t) for t in targets)
+            if flt.op.apply(min_d, flt.threshold):
+                matching.add(member.key)
+        else:
+            predicate = _relation_predicate(flt.relation)
+            if flt.relation is SpatialRelation.DISJOINT:
+                # Disjoint from the whole target set, not from any one part.
+                if all(predicate(geometry, t) for t in targets):
+                    matching.add(member.key)
+            elif any(predicate(geometry, t) for t in targets):
+                matching.add(member.key)
+    if level == table.dimension.leaf:
+        return matching
+    return star.leaf_keys_rolled_to(flt.ref.dimension, level, matching)
+
+
+def execute(
+    star: StarSchema,
+    query: CubeQuery,
+    selection: Iterable[int] | None = None,
+    metric: Metric | None = None,
+) -> CellSet:
+    """Run a cube query.
+
+    ``selection`` optionally restricts the scan to specific fact row ids —
+    this is how personalized instance views (``SelectInstance``) plug into
+    ordinary, *non-spatial* downstream queries, the scenario of
+    Section 4.2.4 of the paper.
+    """
+    metric = metric or PlanarMetric()
+    schema = star.schema
+    fact = schema.fact(query.fact)
+    fact_table = star.fact_table(query.fact)
+
+    for spec in query.aggregations:
+        if spec.measure != "*":
+            fact.measure(spec.measure)  # existence check
+        elif spec.aggregator not in (Aggregator.COUNT,):
+            raise QueryError(
+                f"{spec.aggregator.value}(*) is not meaningful; only COUNT(*)"
+            )
+
+    group_levels: list[tuple[str, str]] = []
+    for ref in query.group_by:
+        if ref.dimension not in fact.dimension_names:
+            raise QueryError(
+                f"fact {fact.name!r} has no dimension {ref.dimension!r}"
+            )
+        group_levels.append((ref.dimension, ref.resolve_level(schema)))
+
+    # Phase 1: filters -> allowed leaf-key sets per dimension (semi-joins).
+    allowed: dict[str, set[str]] = {}
+    for flt in query.where:
+        if isinstance(flt, AttributeFilter):
+            keys = _allowed_keys_for_attribute_filter(star, flt)
+        else:
+            keys = _allowed_keys_for_spatial_filter(star, flt, metric)
+        dim = flt.ref.dimension
+        if dim not in fact.dimension_names:
+            raise QueryError(f"fact {fact.name!r} has no dimension {dim!r}")
+        allowed[dim] = allowed[dim] & keys if dim in allowed else keys
+
+    # Phase 2: scan, group, aggregate.
+    key_columns = {dim: fact_table.key_column(dim) for dim, _ in group_levels}
+    filter_columns = {dim: fact_table.key_column(dim) for dim in allowed}
+    measure_columns = {
+        spec.measure: fact_table.measure_column(spec.measure)
+        for spec in query.aggregations
+        if spec.measure != "*"
+    }
+    groups: dict[tuple[str, ...], list[_Accumulator]] = {}
+    row_iter = selection if selection is not None else fact_table.row_ids()
+    scanned = 0
+    matched = 0
+    for row_id in row_iter:
+        scanned += 1
+        skip = False
+        for dim, keys in allowed.items():
+            if filter_columns[dim][row_id] not in keys:
+                skip = True
+                break
+        if skip:
+            continue
+        matched += 1
+        coordinate = tuple(
+            star.rollup_member(dim, key_columns[dim][row_id], level).key
+            for dim, level in group_levels
+        )
+        accumulators = groups.get(coordinate)
+        if accumulators is None:
+            accumulators = [_Accumulator(spec) for spec in query.aggregations]
+            groups[coordinate] = accumulators
+        for accumulator in accumulators:
+            measure = accumulator.spec.measure
+            value = measure_columns[measure][row_id] if measure != "*" else None
+            accumulator.add(value)
+
+    cells = {
+        coordinate: tuple(acc.result() for acc in accumulators)
+        for coordinate, accumulators in groups.items()
+    }
+    return CellSet(
+        axes=tuple(query.group_by),
+        labels=tuple(spec.label for spec in query.aggregations),
+        cells=cells,
+        fact_rows_scanned=scanned,
+        fact_rows_matched=matched,
+    )

@@ -1,0 +1,90 @@
+"""Spatial aggregation functions over dimension geometries.
+
+da Silva et al. (ref [3] of the paper) define a set of aggregation
+functions for spatial measures; spatial roll-up needs them whenever a
+geometry-carrying level is grouped by a coarser one (e.g. aggregate the
+Store points of each City).  Implemented functions:
+
+* ``COUNT``    — number of member geometries;
+* ``CENTROID`` — centroid of the geometry set;
+* ``ENVELOPE`` — bounding box as a geometry;
+* ``CONVEX_HULL`` — hull of the set;
+* ``COLLECT``  — the set itself, packed into a collection geometry.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import QueryError
+from repro.geometry import (
+    Geometry,
+    GeometryCollection,
+    MultiPoint,
+    Point,
+    centroid,
+    convex_hull,
+    envelope_geometry,
+)
+from repro.storage.star import StarSchema
+
+__all__ = ["SpatialAggregator", "spatial_rollup", "aggregate_geometries"]
+
+
+class SpatialAggregator(enum.Enum):
+    COUNT = "COUNT"
+    CENTROID = "CENTROID"
+    ENVELOPE = "ENVELOPE"
+    CONVEX_HULL = "CONVEX_HULL"
+    COLLECT = "COLLECT"
+
+
+def aggregate_geometries(
+    geometries: list[Geometry], aggregator: SpatialAggregator
+) -> Geometry | float:
+    """Apply one spatial aggregation function to a geometry list."""
+    if aggregator is SpatialAggregator.COUNT:
+        return float(len(geometries))
+    if not geometries:
+        return GeometryCollection(())
+    if aggregator is SpatialAggregator.CENTROID:
+        return centroid(GeometryCollection(geometries))
+    if aggregator is SpatialAggregator.ENVELOPE:
+        return envelope_geometry(GeometryCollection(geometries))
+    if aggregator is SpatialAggregator.CONVEX_HULL:
+        return convex_hull(geometries)
+    if all(isinstance(g, Point) for g in geometries):
+        return MultiPoint(geometries)  # type: ignore[arg-type]
+    return GeometryCollection(geometries)
+
+
+def spatial_rollup(
+    star: StarSchema,
+    dimension: str,
+    child_level: str,
+    parent_level: str,
+    aggregator: SpatialAggregator,
+) -> dict[str, Geometry | float]:
+    """Aggregate child-level geometries per parent-level member.
+
+    Returns ``{parent_member_key: aggregated geometry or count}``.
+    Members without a geometry are skipped for geometric aggregators and
+    excluded from COUNT as well (a non-described member has no spatial
+    contribution).
+    """
+    table = star.dimension_table(dimension)
+    table.dimension.level(child_level)
+    table.dimension.level(parent_level)
+    if child_level == parent_level:
+        raise QueryError("spatial roll-up needs two distinct levels")
+    buckets: dict[str, list[Geometry]] = {}
+    for member in table.members(child_level):
+        geometry = member.geometry
+        if geometry is None:
+            continue
+        parent = table.rollup(member, parent_level)
+        buckets.setdefault(parent.key, []).append(geometry)
+    return {
+        parent_key: aggregate_geometries(geoms, aggregator)
+        for parent_key, geoms in buckets.items()
+    }

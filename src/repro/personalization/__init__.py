@@ -1,0 +1,25 @@
+"""Spatial personalization engine (the Fig. 1 process).
+
+Rule repository with automatic schema/instance/acquisition phasing,
+session lifecycle (SessionStart → selections → SessionEnd), structural
+SpatialSelection event matching and personalized views for downstream
+BI tools.
+"""
+
+from repro.personalization.engine import (
+    PersonalizationEngine,
+    PersonalizedSession,
+    PersonalizedView,
+    RegisteredRule,
+    RulePhase,
+    classify_rule,
+)
+
+__all__ = [
+    "PersonalizationEngine",
+    "PersonalizedSession",
+    "PersonalizedView",
+    "RegisteredRule",
+    "RulePhase",
+    "classify_rule",
+]

@@ -1,0 +1,371 @@
+"""The spatial personalization engine — the process of Fig. 1.
+
+The engine owns the rule repository and drives the two-stage process the
+paper describes: "the designer starts building a MD model and defines some
+Spatial Schema Rules in order to add the required spatiality in the MD
+structures.  Finally the Geographic Multidimensional Model (GeoMD)
+obtained is personalized using Spatial Instance Rules."
+
+Rule classification (automatic, overridable at registration):
+
+* **schema rules** — mutate the schema only (``AddLayer`` /
+  ``BecomeSpatial``, no ``SelectInstance``): run first on SessionStart;
+* **instance rules** — contain ``SelectInstance``: run after every schema
+  rule, against the already-spatialized GeoMD;
+* **acquisition rules** — triggered by ``SpatialSelection`` events (the
+  user-interest tracking of Example 5.3): run when the front-end reports
+  a matching selection.
+
+A :class:`PersonalizedSession` wraps one analysis session of one decision
+maker; ending the session fires SessionEnd rules and releases the user's
+location context.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import PersonalizationError, PRMLRuntimeError
+from repro.geometry import Metric, PlanarMetric, Point
+from repro.geomd.schema import GeoMDSchema
+from repro.olap.cube import Cube
+from repro.prml.ast import (
+    AddLayerAction,
+    Rule,
+    SelectInstanceAction,
+    SessionEndEvent,
+    SessionStartEvent,
+    SpatialSelectionEvent,
+)
+from repro.prml.evaluator import (
+    Evaluator,
+    GeoDataSource,
+    RuleOutcome,
+    RuntimeContext,
+    SelectionSet,
+)
+from repro.prml.parser import parse_expression, parse_path, parse_rule
+from repro.prml.printer import print_expr
+from repro.prml.semantics import SemanticAnalyzer
+from repro.storage.star import StarSchema
+from repro.sus.model import UserModelSchema, UserProfile
+
+__all__ = [
+    "RulePhase",
+    "RegisteredRule",
+    "PersonalizedView",
+    "PersonalizedSession",
+    "PersonalizationEngine",
+]
+
+
+class RulePhase(enum.Enum):
+    SCHEMA = "schema"
+    INSTANCE = "instance"
+    ACQUISITION = "acquisition"
+
+
+@dataclass
+class RegisteredRule:
+    rule: Rule
+    source: str
+    phase: RulePhase
+    enabled: bool = True
+
+
+def classify_rule(rule: Rule) -> RulePhase:
+    """Default phase assignment (see module docstring)."""
+    if isinstance(rule.event, SpatialSelectionEvent):
+        return RulePhase.ACQUISITION
+    if any(isinstance(a, SelectInstanceAction) for a in rule.actions()):
+        return RulePhase.INSTANCE
+    return RulePhase.SCHEMA
+
+
+@dataclass
+class PersonalizedView:
+    """What a BI tool sees after personalization (Section 4.2.4).
+
+    ``fact_rows`` is the pre-computed spatial selection: "when the OLAP
+    session begins the spatial analysis have been done even if the
+    analysis tool does not support spatial data processing."
+    """
+
+    star: StarSchema
+    schema: GeoMDSchema
+    selection: SelectionSet
+    fact_rows: list[int]
+
+    def cube(self, fact: str | None = None) -> Cube:
+        """A cube restricted to the personalized fact rows."""
+        restriction = None if self.selection.is_empty else self.fact_rows
+        return Cube(self.star, fact).with_selection(restriction)
+
+    @property
+    def is_restricted(self) -> bool:
+        return not self.selection.is_empty
+
+    def stats(self) -> dict[str, int]:
+        total = len(self.star.fact_table())
+        kept = len(self.fact_rows) if self.is_restricted else total
+        return {
+            "fact_rows_total": total,
+            "fact_rows_kept": kept,
+            "members_selected": self.selection.member_count(),
+            "layers": len(self.schema.layers),
+            "spatial_levels": len(self.schema.spatial_levels),
+        }
+
+
+@dataclass
+class PersonalizedSession:
+    """One decision maker's analysis session."""
+
+    engine: "PersonalizationEngine"
+    profile: UserProfile
+    context: RuntimeContext
+    outcomes: list[RuleOutcome] = field(default_factory=list)
+    closed: bool = False
+
+    @property
+    def selection(self) -> SelectionSet:
+        return self.context.selection
+
+    def view(self) -> PersonalizedView:
+        """Materialize the personalized view for downstream BI tools."""
+        selection = self.context.selection
+        fact_rows = (
+            selection.fact_row_ids(self.context.star)
+            if not selection.is_empty
+            else list(self.context.star.fact_table().row_ids())
+        )
+        return PersonalizedView(
+            star=self.context.star,
+            schema=self.context.geomd_schema,
+            selection=selection,
+            fact_rows=fact_rows,
+        )
+
+    def record_spatial_selection(self, target: str, condition: str) -> list[RuleOutcome]:
+        """Report a user spatial selection to the engine (Section 4.2.1).
+
+        The BI front-end calls this when the user selects instances through
+        a spatial expression; acquisition rules whose declared
+        ``SpatialSelection(target, expression)`` pattern matches are fired.
+        """
+        if self.closed:
+            raise PersonalizationError("session is closed")
+        outcomes = self.engine._fire_spatial_selection(self.context, target, condition)
+        self.outcomes.extend(outcomes)
+        return outcomes
+
+    def rerun_instance_rules(self) -> list[RuleOutcome]:
+        """Re-evaluate instance rules mid-session (after interest changes)."""
+        if self.closed:
+            raise PersonalizationError("session is closed")
+        outcomes = self.engine._run_phase(self.context, RulePhase.INSTANCE)
+        self.outcomes.extend(outcomes)
+        return outcomes
+
+    def end(self) -> list[RuleOutcome]:
+        """Fire SessionEnd rules and close the profile session."""
+        if self.closed:
+            raise PersonalizationError("session is already closed")
+        outcomes = self.engine._run_event(
+            self.context, SessionEndEvent(), phases=None
+        )
+        self.outcomes.extend(outcomes)
+        self.profile.close_session()
+        self.closed = True
+        return outcomes
+
+
+class PersonalizationEngine:
+    """Rule repository + execution over one star schema."""
+
+    def __init__(
+        self,
+        star: StarSchema,
+        user_schema: UserModelSchema,
+        geo_source: GeoDataSource | None = None,
+        parameters: dict[str, object] | None = None,
+        metric: Metric | None = None,
+        snap_tolerance: float = 1.0,
+        validate_rules: bool = True,
+    ) -> None:
+        schema = star.schema
+        if not isinstance(schema, GeoMDSchema):
+            raise PersonalizationError(
+                "the engine requires a star over a GeoMDSchema (lift the MD "
+                "schema with GeoMDSchema.from_md before loading)"
+            )
+        self.star = star
+        self.geomd_schema: GeoMDSchema = schema
+        self.user_schema = user_schema
+        self.geo_source = geo_source
+        self.parameters = dict(parameters or {})
+        self.metric = metric or PlanarMetric()
+        self.snap_tolerance = snap_tolerance
+        self.validate_rules = validate_rules
+        self.rules: list[RegisteredRule] = []
+
+    # -- rule repository -----------------------------------------------------
+
+    def add_rule(
+        self,
+        source: str | Rule,
+        phase: RulePhase | None = None,
+    ) -> RegisteredRule:
+        """Parse, analyze and register one rule."""
+        if isinstance(source, Rule):
+            rule = source
+            text = ""
+        else:
+            rule = parse_rule(source)
+            text = source
+        if any(existing.rule.name == rule.name for existing in self.rules):
+            raise PersonalizationError(f"duplicate rule name {rule.name!r}")
+        if self.validate_rules:
+            analyzer = SemanticAnalyzer(
+                self.user_schema,
+                self.geomd_schema,
+                self.geomd_schema,
+                self.parameters,
+                known_layers=self._promised_layers(),
+            )
+            analyzer.check(rule)
+        registered = RegisteredRule(
+            rule=rule,
+            source=text,
+            phase=phase or classify_rule(rule),
+        )
+        self.rules.append(registered)
+        return registered
+
+    def add_rules(self, sources: Iterable[str | Rule]) -> list[RegisteredRule]:
+        return [self.add_rule(source) for source in sources]
+
+    def _promised_layers(self) -> set[str]:
+        """Layer names any registered rule's AddLayer will create."""
+        promised: set[str] = set()
+        for registered in self.rules:
+            for action in registered.rule.actions():
+                if isinstance(action, AddLayerAction):
+                    promised.add(action.layer_name.value)
+        return promised
+
+    def rule(self, name: str) -> RegisteredRule:
+        for registered in self.rules:
+            if registered.rule.name == name:
+                return registered
+        raise PersonalizationError(f"no rule named {name!r}")
+
+    # -- session lifecycle --------------------------------------------------------
+
+    def start_session(
+        self,
+        profile: UserProfile,
+        location: Point | None = None,
+    ) -> PersonalizedSession:
+        """Open an analysis session and fire SessionStart rules.
+
+        Schema rules run before instance rules, implementing the two-step
+        process of Fig. 1 within a single trigger.
+        """
+        profile.open_session(location)
+        context = RuntimeContext(
+            user_profile=profile,
+            md_schema=self.geomd_schema,
+            geomd_schema=self.geomd_schema,
+            star=self.star,
+            parameters=dict(self.parameters),
+            metric=self.metric,
+            snap_tolerance=self.snap_tolerance,
+            geo_source=self.geo_source,
+            selection=SelectionSet(),
+        )
+        session = PersonalizedSession(engine=self, profile=profile, context=context)
+        session.outcomes.extend(
+            self._run_event(
+                context,
+                SessionStartEvent(),
+                phases=(RulePhase.SCHEMA, RulePhase.INSTANCE),
+            )
+        )
+        return session
+
+    # -- internal firing ---------------------------------------------------------
+
+    @staticmethod
+    def _safe_execute(evaluator: Evaluator, registered: RegisteredRule) -> RuleOutcome:
+        """Execute one rule; missing context data skips it (ECA semantics:
+        an unfulfillable condition fires no action) instead of aborting the
+        whole session."""
+        try:
+            return evaluator.execute(registered.rule)
+        except PRMLRuntimeError as exc:
+            return RuleOutcome(rule_name=registered.rule.name, error=str(exc))
+
+    def _run_event(
+        self,
+        context: RuntimeContext,
+        event: SessionStartEvent | SessionEndEvent,
+        phases: tuple[RulePhase, ...] | None,
+    ) -> list[RuleOutcome]:
+        evaluator = Evaluator(context)
+        outcomes: list[RuleOutcome] = []
+        ordered: list[RegisteredRule] = []
+        if phases is None:
+            ordered = [r for r in self.rules if r.enabled]
+        else:
+            for phase in phases:
+                ordered.extend(
+                    r for r in self.rules if r.enabled and r.phase is phase
+                )
+        for registered in ordered:
+            if type(registered.rule.event) is not type(event):
+                continue
+            outcomes.append(self._safe_execute(evaluator, registered))
+        return outcomes
+
+    def _run_phase(
+        self, context: RuntimeContext, phase: RulePhase
+    ) -> list[RuleOutcome]:
+        evaluator = Evaluator(context)
+        return [
+            self._safe_execute(evaluator, registered)
+            for registered in self.rules
+            if registered.enabled
+            and registered.phase is phase
+            and isinstance(registered.rule.event, SessionStartEvent)
+        ]
+
+    def _fire_spatial_selection(
+        self,
+        context: RuntimeContext,
+        target: str,
+        condition: str,
+    ) -> list[RuleOutcome]:
+        """Fire acquisition rules whose event pattern matches the report.
+
+        Matching is structural: the canonical prints of the declared and
+        reported target path and condition expression must agree.
+        """
+        reported_target = str(parse_path(target))
+        reported_condition = print_expr(parse_expression(condition))
+        evaluator = Evaluator(context)
+        outcomes: list[RuleOutcome] = []
+        for registered in self.rules:
+            if not registered.enabled:
+                continue
+            event = registered.rule.event
+            if not isinstance(event, SpatialSelectionEvent):
+                continue
+            if str(event.target) != reported_target:
+                continue
+            if print_expr(event.condition) != reported_condition:
+                continue
+            outcomes.append(evaluator.execute(registered.rule))
+        return outcomes

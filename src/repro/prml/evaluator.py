@@ -1,0 +1,547 @@
+"""PRML rule evaluation against a runtime context.
+
+The evaluator executes a rule body (the engine in
+:mod:`repro.personalization` decides *when*, per the ECA event part):
+
+* expressions evaluate against the bound models — ``SUS.`` paths read the
+  user profile, ``MD.``/``GeoMD.`` paths resolve to member/feature
+  collections, loop variables hold bound members/features;
+* ``SetContent`` writes through the user profile;
+* ``BecomeSpatial``/``AddLayer`` mutate the GeoMD schema (and backfill
+  geometry from the bound :class:`GeoDataSource`, standing in for the
+  external geographic providers the paper assumes — SDIs, geo-portals);
+* ``SelectInstance`` accumulates into a :class:`SelectionSet`, which the
+  personalization engine later turns into a fact-row selection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import PRMLRuntimeError, SchemaError, UserModelError
+from repro.geomd.schema import GEOMETRY_ATTRIBUTE, GeoMDSchema
+from repro.geometry import Geometry, Metric, PlanarMetric
+from repro.mdm.model import MDSchema, ResolvedLevel
+from repro.prml.ast import (
+    AddLayerAction,
+    BecomeSpatialAction,
+    BinaryOp,
+    BinaryOperator,
+    Expr,
+    ForeachStmt,
+    GeomTypeLit,
+    IfStmt,
+    NotOp,
+    NumberLit,
+    ParameterRef,
+    PathExpr,
+    QuantityLit,
+    Rule,
+    SelectInstanceAction,
+    SetContentAction,
+    SpatialCall,
+    SpatialFunction,
+    Stmt,
+    StringLit,
+    VarPath,
+)
+from repro.prml.stdlib import (
+    LineAnchoredCollection,
+    prml_distance,
+    prml_intersection,
+    prml_predicate,
+)
+from repro.storage.star import StarSchema
+from repro.storage.tables import Feature, Member
+from repro.sus.model import UserProfile
+
+__all__ = [
+    "BoundMember",
+    "BoundFeature",
+    "SelectionSet",
+    "GeoDataSource",
+    "RuntimeContext",
+    "RuleOutcome",
+    "Evaluator",
+]
+
+
+@dataclass(frozen=True)
+class BoundMember:
+    """A dimension member bound to a loop variable (carries its origin)."""
+
+    member: Member
+    dimension: str
+
+    @property
+    def key(self) -> str:
+        return self.member.key
+
+
+@dataclass(frozen=True)
+class BoundFeature:
+    """A layer feature bound to a loop variable."""
+
+    feature: Feature
+    layer: str
+
+    @property
+    def name(self) -> str:
+        return self.feature.name
+
+
+class SelectionSet:
+    """Instances kept by ``SelectInstance`` actions.
+
+    Selections are *filters-in*: if a dimension has any selected members
+    (at any of its levels), only facts rolling up into them survive;
+    dimensions with no selections are unrestricted.  All selections within
+    one dimension are **additive** (union) — Example 5.3 explicitly *adds*
+    train-connected cities on top of Example 5.2's nearby stores ("then we
+    also add the cities not near enough but with a good train
+    connection").  Distinct dimensions still compose as intersection, each
+    restricting its own axis.
+    """
+
+    def __init__(self) -> None:
+        self.members: dict[tuple[str, str], set[str]] = {}
+        self.features: dict[str, set[str]] = {}
+
+    def add_member(self, dimension: str, level: str, key: str) -> None:
+        self.members.setdefault((dimension, level), set()).add(key)
+
+    def add_feature(self, layer: str, name: str) -> None:
+        self.features.setdefault(layer, set()).add(name)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.members and not self.features
+
+    def member_count(self) -> int:
+        return sum(len(keys) for keys in self.members.values())
+
+    def allowed_leaf_keys(self, star: StarSchema) -> dict[str, set[str]]:
+        """Per-dimension allowed leaf keys implied by member selections."""
+        out: dict[str, set[str]] = {}
+        for (dimension, level), keys in self.members.items():
+            table = star.dimension_table(dimension)
+            if level == table.dimension.leaf:
+                leaf_keys = set(keys)
+            else:
+                leaf_keys = star.leaf_keys_rolled_to(dimension, level, keys)
+            out.setdefault(dimension, set()).update(leaf_keys)
+        return out
+
+    def fact_row_ids(self, star: StarSchema, fact: str | None = None) -> list[int]:
+        """Fact rows surviving the member selections."""
+        fact_table = star.fact_table(fact)
+        allowed = self.allowed_leaf_keys(star)
+        relevant = {
+            dim: keys
+            for dim, keys in allowed.items()
+            if dim in fact_table.fact.dimension_names
+        }
+        if not relevant:
+            return list(fact_table.row_ids())
+        columns = {dim: fact_table.key_column(dim) for dim in relevant}
+        return [
+            row_id
+            for row_id in fact_table.row_ids()
+            if all(columns[dim][row_id] in keys for dim, keys in relevant.items())
+        ]
+
+
+class GeoDataSource(Protocol):
+    """External geographic data provider (SDI / geo-portal stand-in).
+
+    ``AddLayer``/``BecomeSpatial`` pull geometry from here — the paper's
+    layers describe data "external to the domain" that the warehouse does
+    not itself store.
+    """
+
+    def layer_features(
+        self, layer_name: str
+    ) -> list[tuple[str, Geometry, dict]] | None:
+        """Features for a layer, or None when the source has none."""
+        ...  # pragma: no cover - protocol
+
+    def level_geometries(
+        self, dimension: str, level: str
+    ) -> dict[str, Geometry] | None:
+        """member key -> geometry for a level, or None."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class RuntimeContext:
+    """Everything a rule execution can read or mutate."""
+
+    user_profile: UserProfile
+    md_schema: MDSchema
+    geomd_schema: GeoMDSchema
+    star: StarSchema
+    parameters: dict[str, object] = field(default_factory=dict)
+    metric: Metric = field(default_factory=PlanarMetric)
+    snap_tolerance: float = 1.0
+    geo_source: GeoDataSource | None = None
+    selection: SelectionSet = field(default_factory=SelectionSet)
+
+
+@dataclass
+class RuleOutcome:
+    """What one rule execution did (for logs, tests and benchmarks).
+
+    ``error`` is set when the rule was skipped because its context data was
+    unavailable (e.g. a location-dependent rule in a session without a
+    location): the ECA condition could not be fulfilled, so no action fired.
+    """
+
+    rule_name: str
+    fired_actions: int = 0
+    selected_instances: int = 0
+    layers_added: list[str] = field(default_factory=list)
+    levels_spatialized: list[str] = field(default_factory=list)
+    contents_set: int = 0
+    iterations: int = 0
+    error: str | None = None
+
+
+class Evaluator:
+    """Executes rule bodies against a :class:`RuntimeContext`."""
+
+    def __init__(self, context: RuntimeContext) -> None:
+        self.context = context
+
+    # -- rule execution --------------------------------------------------------
+
+    def execute(self, rule: Rule) -> RuleOutcome:
+        outcome = RuleOutcome(rule_name=rule.name)
+        env: dict[str, object] = {}
+        for stmt in rule.body:
+            self._exec_stmt(stmt, env, outcome)
+        return outcome
+
+    # -- statements --------------------------------------------------------------
+
+    def _exec_stmt(
+        self, stmt: Stmt, env: dict[str, object], outcome: RuleOutcome
+    ) -> None:
+        if isinstance(stmt, IfStmt):
+            condition = self._eval(stmt.condition, env)
+            if not isinstance(condition, bool):
+                raise PRMLRuntimeError(
+                    f"If condition evaluated to {type(condition).__name__}, "
+                    f"expected a boolean"
+                )
+            branch = stmt.then_body if condition else stmt.else_body
+            for inner in branch:
+                self._exec_stmt(inner, env, outcome)
+            return
+        if isinstance(stmt, ForeachStmt):
+            collections = [
+                self._eval_collection(source) for source in stmt.sources
+            ]
+            for combo in itertools.product(*collections):
+                outcome.iterations += 1
+                inner_env = dict(env)
+                for variable, value in zip(stmt.variables, combo):
+                    inner_env[variable] = value
+                for inner in stmt.body:
+                    self._exec_stmt(inner, inner_env, outcome)
+            return
+        if isinstance(stmt, SetContentAction):
+            value = self._eval(stmt.value, env)
+            if stmt.target.root != "SUS":
+                raise PRMLRuntimeError(
+                    f"SetContent target {stmt.target} must be a SUS path"
+                )
+            path = ".".join(stmt.target.steps)
+            try:
+                self.context.user_profile.set(path, value)
+            except UserModelError as exc:
+                raise PRMLRuntimeError(str(exc)) from exc
+            outcome.contents_set += 1
+            outcome.fired_actions += 1
+            return
+        if isinstance(stmt, SelectInstanceAction):
+            target = self._eval(stmt.instance, env)
+            if isinstance(target, BoundMember):
+                self.context.selection.add_member(
+                    target.dimension, target.member.level, target.member.key
+                )
+            elif isinstance(target, BoundFeature):
+                self.context.selection.add_feature(target.layer, target.name)
+            else:
+                raise PRMLRuntimeError(
+                    f"SelectInstance expects a member or feature, got "
+                    f"{type(target).__name__}"
+                )
+            outcome.selected_instances += 1
+            outcome.fired_actions += 1
+            return
+        if isinstance(stmt, BecomeSpatialAction):
+            self._exec_become_spatial(stmt, outcome)
+            return
+        if isinstance(stmt, AddLayerAction):
+            self._exec_add_layer(stmt, outcome)
+            return
+        raise PRMLRuntimeError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_become_spatial(
+        self, stmt: BecomeSpatialAction, outcome: RuleOutcome
+    ) -> None:
+        steps = list(stmt.element.steps)
+        if steps and steps[-1] == GEOMETRY_ATTRIBUTE:
+            steps = steps[:-1]
+        schema = self.context.geomd_schema
+        try:
+            resolved = schema.resolve(steps)
+        except SchemaError as exc:
+            raise PRMLRuntimeError(
+                f"BecomeSpatial target {stmt.element}: {exc}"
+            ) from exc
+        if not isinstance(resolved, ResolvedLevel):
+            raise PRMLRuntimeError(
+                f"BecomeSpatial target {stmt.element} must name a level"
+            )
+        level_ref = f"{resolved.dimension.name}.{resolved.level.name}"
+        schema.become_spatial(level_ref, stmt.geometric_type.value)
+        outcome.levels_spatialized.append(level_ref)
+        outcome.fired_actions += 1
+        # Backfill member geometries from the external source.
+        source = self.context.geo_source
+        if source is None:
+            return
+        geometries = source.level_geometries(
+            resolved.dimension.name, resolved.level.name
+        )
+        if geometries is None:
+            return
+        table = self.context.star.dimension_table(resolved.dimension.name)
+        declared = stmt.geometric_type.value
+        for member in table.members(resolved.level.name):
+            geometry = geometries.get(member.key)
+            if geometry is None:
+                continue
+            if not declared.accepts(geometry):
+                raise PRMLRuntimeError(
+                    f"external geometry for {member.key!r} is a "
+                    f"{geometry.geom_type}, but {level_ref} was declared "
+                    f"{declared.name}"
+                )
+            member.attributes[GEOMETRY_ATTRIBUTE] = geometry
+
+    def _exec_add_layer(self, stmt: AddLayerAction, outcome: RuleOutcome) -> None:
+        name = stmt.layer_name.value
+        self.context.geomd_schema.add_layer(name, stmt.geometric_type.value)
+        table = self.context.star.ensure_layer_table(name)
+        outcome.layers_added.append(name)
+        outcome.fired_actions += 1
+        source = self.context.geo_source
+        if source is None or len(table):
+            return
+        features = source.layer_features(name)
+        if features is None:
+            return
+        for feature_name, geometry, attributes in features:
+            table.add_feature(feature_name, geometry, attributes)
+
+    # -- expression evaluation ------------------------------------------------------
+
+    def _eval(self, expr: Expr, env: dict[str, object]) -> object:
+        if isinstance(expr, NumberLit):
+            return expr.value
+        if isinstance(expr, QuantityLit):
+            return expr.metres
+        if isinstance(expr, StringLit):
+            return expr.value
+        if isinstance(expr, GeomTypeLit):
+            return expr.value
+        if isinstance(expr, ParameterRef):
+            if expr.name not in self.context.parameters:
+                raise PRMLRuntimeError(
+                    f"undefined parameter {expr.name!r}; defined: "
+                    f"{sorted(self.context.parameters)}"
+                )
+            return self.context.parameters[expr.name]
+        if isinstance(expr, VarPath):
+            return self._eval_var_path(expr, env)
+        if isinstance(expr, PathExpr):
+            return self._eval_model_path(expr)
+        if isinstance(expr, NotOp):
+            operand = self._eval(expr.operand, env)
+            if not isinstance(operand, bool):
+                raise PRMLRuntimeError("not applied to a non-boolean")
+            return not operand
+        if isinstance(expr, SpatialCall):
+            return self._eval_spatial_call(expr, env)
+        if isinstance(expr, BinaryOp):
+            return self._eval_binary(expr, env)
+        raise PRMLRuntimeError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_var_path(self, expr: VarPath, env: dict[str, object]) -> object:
+        if expr.var not in env:
+            raise PRMLRuntimeError(f"unbound variable {expr.var!r}")
+        value = env[expr.var]
+        if not expr.steps:
+            return value
+        if len(expr.steps) > 1:
+            raise PRMLRuntimeError(
+                f"variable path {expr} navigates more than one step"
+            )
+        step = expr.steps[0]
+        if isinstance(value, BoundMember):
+            if step == GEOMETRY_ATTRIBUTE:
+                geometry = value.member.geometry
+                if geometry is None:
+                    raise PRMLRuntimeError(
+                        f"member {value.member.key!r} has no geometry; did "
+                        f"a BecomeSpatial rule run and backfill it?"
+                    )
+                return geometry
+            return value.member.get(step)
+        if isinstance(value, BoundFeature):
+            if step == GEOMETRY_ATTRIBUTE:
+                return value.feature.geometry
+            if step == "name":
+                return value.feature.name
+            if step in value.feature.attributes:
+                return value.feature.attributes[step]
+            raise PRMLRuntimeError(
+                f"feature {value.feature.name!r} has no attribute {step!r}"
+            )
+        raise PRMLRuntimeError(
+            f"cannot navigate {step!r} from {type(value).__name__}"
+        )
+
+    def _eval_model_path(self, path: PathExpr) -> object:
+        if path.root == "SUS":
+            try:
+                return self.context.user_profile.get(".".join(path.steps))
+            except UserModelError as exc:
+                raise PRMLRuntimeError(str(exc)) from exc
+        return self._eval_collection(path)
+
+    def _eval_collection(self, path: PathExpr) -> list[object]:
+        """Resolve an MD/GeoMD path to its member/feature collection."""
+        if path.root == "SUS":
+            raise PRMLRuntimeError(f"{path} is not an iterable collection")
+        schema: MDSchema = (
+            self.context.geomd_schema if path.root == "GeoMD" else self.context.md_schema
+        )
+        steps = list(path.steps)
+        if (
+            path.root == "GeoMD"
+            and len(steps) == 1
+            and isinstance(schema, GeoMDSchema)
+            and steps[0] in schema.layers
+        ):
+            table = self.context.star.layer_table(steps[0])
+            return [BoundFeature(f, steps[0]) for f in table.features()]
+        try:
+            resolved = schema.resolve(steps)
+        except SchemaError as exc:
+            raise PRMLRuntimeError(str(exc)) from exc
+        if not isinstance(resolved, ResolvedLevel):
+            raise PRMLRuntimeError(
+                f"{path} resolves to an attribute, not an iterable level"
+            )
+        table = self.context.star.dimension_table(resolved.dimension.name)
+        return [
+            BoundMember(m, resolved.dimension.name)
+            for m in table.members(resolved.level.name)
+        ]
+
+    def _coerce_geometry(self, value: object, origin: Expr) -> object:
+        if isinstance(value, (Geometry, LineAnchoredCollection)):
+            return value
+        if isinstance(value, BoundMember):
+            geometry = value.member.geometry
+            if geometry is None:
+                raise PRMLRuntimeError(
+                    f"member {value.member.key!r} (from {origin}) has no "
+                    f"geometry"
+                )
+            return geometry
+        if isinstance(value, BoundFeature):
+            return value.feature.geometry
+        raise PRMLRuntimeError(
+            f"{origin} evaluated to {type(value).__name__}, expected a "
+            f"geometry"
+        )
+
+    def _eval_spatial_call(self, call: SpatialCall, env: dict[str, object]) -> object:
+        values = [
+            self._coerce_geometry(self._eval(arg, env), arg) for arg in call.args
+        ]
+        if call.function is SpatialFunction.DISTANCE:
+            return prml_distance(values, self.context.metric)
+        if call.function is SpatialFunction.INTERSECTION:
+            return prml_intersection(
+                values[0], values[1], self.context.snap_tolerance
+            )
+        return prml_predicate(call.function, values[0], values[1])
+
+    def _eval_binary(self, expr: BinaryOp, env: dict[str, object]) -> object:
+        op = expr.op
+        if op is BinaryOperator.AND:
+            left = self._eval(expr.left, env)
+            self._require_bool(left, expr.left)
+            if not left:
+                return False
+            right = self._eval(expr.right, env)
+            self._require_bool(right, expr.right)
+            return bool(right)
+        if op is BinaryOperator.OR:
+            left = self._eval(expr.left, env)
+            self._require_bool(left, expr.left)
+            if left:
+                return True
+            right = self._eval(expr.right, env)
+            self._require_bool(right, expr.right)
+            return bool(right)
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        if op.is_arithmetic:
+            if not isinstance(left, (int, float)) or not isinstance(
+                right, (int, float)
+            ):
+                raise PRMLRuntimeError(
+                    f"arithmetic {op.value} on {type(left).__name__} and "
+                    f"{type(right).__name__}"
+                )
+            if op is BinaryOperator.ADD:
+                return left + right
+            if op is BinaryOperator.SUB:
+                return left - right
+            if op is BinaryOperator.MUL:
+                return left * right
+            if right == 0:
+                raise PRMLRuntimeError("division by zero")
+            return left / right
+        # Comparisons.
+        if op in (BinaryOperator.EQ, BinaryOperator.NE):
+            result = left == right
+            return result if op is BinaryOperator.EQ else not result
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            raise PRMLRuntimeError(
+                f"ordering comparison {op.value} on {type(left).__name__} "
+                f"and {type(right).__name__}"
+            )
+        if op is BinaryOperator.LT:
+            return left < right
+        if op is BinaryOperator.LE:
+            return left <= right
+        if op is BinaryOperator.GT:
+            return left > right
+        return left >= right
+
+    @staticmethod
+    def _require_bool(value: object, origin: Expr) -> None:
+        if not isinstance(value, bool):
+            raise PRMLRuntimeError(
+                f"{origin} evaluated to {type(value).__name__}, expected a "
+                f"boolean"
+            )

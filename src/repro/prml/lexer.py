@@ -1,0 +1,188 @@
+"""Lexer for the PRML concrete syntax used in Section 5 of the paper.
+
+Token categories:
+
+* keywords — ``Rule When do endWhen If then else endIf Foreach in
+  endForeach and or not`` (case-sensitive, as printed in the paper);
+* identifiers — rule names, path segments, variables, parameters;
+* literals — numbers, single-quoted strings, *quantities* (a number with
+  an immediately attached unit: ``5km``, ``250m``), geometric type names
+  are plain identifiers resolved by the parser;
+* operators — ``= <> < <= > >= + - * /``;
+* punctuation — ``( ) , . :``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PRMLSyntaxError
+from repro.geometry.metrics import UNIT_FACTORS
+
+__all__ = ["Token", "TokenKind", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "Rule",
+        "When",
+        "do",
+        "endWhen",
+        "If",
+        "then",
+        "else",
+        "endIf",
+        "Foreach",
+        "in",
+        "endForeach",
+        "and",
+        "or",
+        "not",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "=", "<", ">", "+", "-", "*", "/")
+_PUNCTUATION = "(),.:"
+
+
+class TokenKind:
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    QUANTITY = "QUANTITY"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.value!r} @{self.line}:{self.column}>"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn PRML source text into a token list (ending with EOF)."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> PRMLSyntaxError:
+        return PRMLSyntaxError(message, line, column)
+
+    while i < n:
+        ch = source[i]
+        # -- whitespace & comments ------------------------------------------
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, column
+        # -- strings -------------------------------------------------------------
+        if ch == "'":
+            j = i + 1
+            buf: list[str] = []
+            while j < n:
+                if source[j] == "'":
+                    if j + 1 < n and source[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                if source[j] == "\n":
+                    raise error("unterminated string literal")
+                buf.append(source[j])
+                j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            text = "".join(buf)
+            tokens.append(Token(TokenKind.STRING, text, start_line, start_col))
+            column += (j + 1) - i
+            i = j + 1
+            continue
+        # -- numbers / quantities ---------------------------------------------------
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and source[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # A dot not followed by a digit is path punctuation.
+                    if j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            number_text = source[i:j]
+            # Attached unit suffix -> quantity literal (5km, 250m, 3mi).
+            k = j
+            while k < n and source[k].isalpha():
+                k += 1
+            suffix = source[j:k]
+            if suffix and suffix.lower() in UNIT_FACTORS:
+                tokens.append(
+                    Token(
+                        TokenKind.QUANTITY,
+                        f"{number_text}{suffix.lower()}",
+                        start_line,
+                        start_col,
+                    )
+                )
+                column += k - i
+                i = k
+                continue
+            # A non-unit suffix is not an error: names like the paper's rule
+            # "5kmStores" lex as NUMBER + IDENT and are rejoined where a
+            # name (not an expression) is expected.
+            tokens.append(Token(TokenKind.NUMBER, number_text, start_line, start_col))
+            column += j - i
+            i = j
+            continue
+        # -- identifiers / keywords ----------------------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, word, start_line, start_col))
+            column += j - i
+            i = j
+            continue
+        # -- operators -----------------------------------------------------------------
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OPERATOR, op, start_line, start_col))
+                i += len(op)
+                column += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        # -- punctuation ----------------------------------------------------------------
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCT, ch, start_line, start_col))
+            i += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

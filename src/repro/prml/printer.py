@@ -1,0 +1,146 @@
+"""Canonical pretty-printer for PRML ASTs.
+
+``parse(print(ast)) == ast`` is property-tested; the printer is also how
+SpatialSelection event *patterns* are matched structurally (two event
+declarations are the same subscription iff their canonical prints agree).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PRMLError
+from repro.prml.ast import (
+    AddLayerAction,
+    BecomeSpatialAction,
+    BinaryOp,
+    BinaryOperator,
+    Event,
+    Expr,
+    ForeachStmt,
+    GeomTypeLit,
+    IfStmt,
+    NotOp,
+    NumberLit,
+    ParameterRef,
+    PathExpr,
+    QuantityLit,
+    Rule,
+    SelectInstanceAction,
+    SessionEndEvent,
+    SessionStartEvent,
+    SetContentAction,
+    SpatialCall,
+    SpatialSelectionEvent,
+    Stmt,
+    StringLit,
+    VarPath,
+)
+
+__all__ = ["print_rule", "print_expr", "print_event"]
+
+_PRECEDENCE = {
+    BinaryOperator.OR: 1,
+    BinaryOperator.AND: 2,
+    BinaryOperator.EQ: 4,
+    BinaryOperator.NE: 4,
+    BinaryOperator.LT: 4,
+    BinaryOperator.LE: 4,
+    BinaryOperator.GT: 4,
+    BinaryOperator.GE: 4,
+    BinaryOperator.ADD: 5,
+    BinaryOperator.SUB: 5,
+    BinaryOperator.MUL: 6,
+    BinaryOperator.DIV: 6,
+}
+
+#: ``not`` binds tighter than the logical connectives but looser than
+#: comparisons; it needs parentheses anywhere the grammar would not parse
+#: a prefix ``not`` (operands of comparisons/arithmetic).
+_NOT_PRECEDENCE = 3
+
+
+def print_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    """Render an expression with minimal (but sufficient) parenthesization.
+
+    Comparisons are *non-associative* in the grammar, so a comparison
+    operand of another comparison is always parenthesized; ``not`` is only
+    valid at the logical level, so it is parenthesized under any tighter
+    context.
+    """
+    if isinstance(expr, (PathExpr, VarPath, NumberLit, StringLit, QuantityLit, GeomTypeLit, ParameterRef)):
+        return str(expr)
+    if isinstance(expr, NotOp):
+        text = f"not {print_expr(expr.operand, _NOT_PRECEDENCE + 1)}"
+        if parent_precedence > _NOT_PRECEDENCE:
+            return f"({text})"
+        return text
+    if isinstance(expr, SpatialCall):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.function.value}({args})"
+    if isinstance(expr, BinaryOp):
+        precedence = _PRECEDENCE[expr.op]
+        op_text = expr.op.value
+        separator = f" {op_text} " if expr.op.is_logical else op_text
+        # Non-associative comparisons parenthesize both operands at the
+        # same level; left-associative operators only the right one.
+        left_floor = precedence + 1 if expr.op.is_comparison else precedence
+        text = (
+            f"{print_expr(expr.left, left_floor)}"
+            f"{separator}"
+            f"{print_expr(expr.right, precedence + 1)}"
+        )
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    raise PRMLError(f"cannot print expression {type(expr).__name__}")
+
+
+def print_event(event: Event) -> str:
+    if isinstance(event, SessionStartEvent):
+        return "SessionStart"
+    if isinstance(event, SessionEndEvent):
+        return "SessionEnd"
+    if isinstance(event, SpatialSelectionEvent):
+        return (
+            f"SpatialSelection({event.target}, {print_expr(event.condition)})"
+        )
+    raise PRMLError(f"cannot print event {type(event).__name__}")
+
+
+def _print_stmt(stmt: Stmt, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(stmt, IfStmt):
+        lines = [f"{pad}If ({print_expr(stmt.condition)}) then"]
+        for inner in stmt.then_body:
+            lines.extend(_print_stmt(inner, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}else")
+            for inner in stmt.else_body:
+                lines.extend(_print_stmt(inner, indent + 1))
+        lines.append(f"{pad}endIf")
+        return lines
+    if isinstance(stmt, ForeachStmt):
+        variables = ", ".join(stmt.variables)
+        sources = ", ".join(str(s) for s in stmt.sources)
+        lines = [f"{pad}Foreach {variables} in ({sources})"]
+        for inner in stmt.body:
+            lines.extend(_print_stmt(inner, indent + 1))
+        lines.append(f"{pad}endForeach")
+        return lines
+    if isinstance(stmt, SetContentAction):
+        return [f"{pad}SetContent({stmt.target}, {print_expr(stmt.value)})"]
+    if isinstance(stmt, SelectInstanceAction):
+        return [f"{pad}SelectInstance({print_expr(stmt.instance)})"]
+    if isinstance(stmt, BecomeSpatialAction):
+        return [f"{pad}BecomeSpatial({stmt.element}, {stmt.geometric_type})"]
+    if isinstance(stmt, AddLayerAction):
+        return [f"{pad}AddLayer({stmt.layer_name}, {stmt.geometric_type})"]
+    raise PRMLError(f"cannot print statement {type(stmt).__name__}")
+
+
+def print_rule(rule: Rule) -> str:
+    """Render a rule in the paper's concrete syntax (canonical layout)."""
+    lines = [f"Rule:{rule.name} When {print_event(rule.event)} do"]
+    for stmt in rule.body:
+        lines.extend(_print_stmt(stmt, 1))
+    lines.append("endWhen")
+    return "\n".join(lines)

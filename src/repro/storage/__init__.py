@@ -1,0 +1,29 @@
+"""In-memory star-schema storage for (Geo)MD schemas.
+
+Dimension tables with explicit roll-up links, columnar fact tables,
+geographic layer tables, referential-integrity checks, roll-up caches
+and JSON snapshot persistence.
+"""
+
+from repro.storage.snapshot import load_star, save_star, star_from_dict, star_to_dict
+from repro.storage.star import StarSchema
+from repro.storage.tables import (
+    DimensionTable,
+    FactTable,
+    Feature,
+    LayerTable,
+    Member,
+)
+
+__all__ = [
+    "DimensionTable",
+    "FactTable",
+    "Feature",
+    "LayerTable",
+    "Member",
+    "StarSchema",
+    "load_star",
+    "save_star",
+    "star_from_dict",
+    "star_to_dict",
+]

@@ -1,0 +1,170 @@
+"""JSON snapshots of loaded star schemas.
+
+The repository side of the warehouse: a loaded (and possibly already
+personalized) star — schema, dimension members with roll-up links and
+geometries, fact columns, layer features — serializes to one JSON
+document and loads back bit-identically.  Geometries travel as WKT inside
+a ``{"__wkt__": ...}`` wrapper so plain JSON tooling can still read the
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.geomd.schema import GeoMDSchema
+from repro.geometry import Geometry, wkt_dumps, wkt_loads
+from repro.mdm.model import MDSchema
+from repro.storage.star import StarSchema
+
+__all__ = ["star_to_dict", "star_from_dict", "save_star", "load_star"]
+
+_WKT_KEY = "__wkt__"
+
+
+def _encode_value(value: object) -> object:
+    if isinstance(value, Geometry):
+        return {_WKT_KEY: wkt_dumps(value)}
+    return value
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, dict) and set(value) == {_WKT_KEY}:
+        return wkt_loads(value[_WKT_KEY])
+    return value
+
+
+def star_to_dict(star: StarSchema) -> dict:
+    """Serialize a loaded star schema to a JSON-ready dict."""
+    schema = star.schema
+    data: dict = {
+        "schema": schema.to_dict(),
+        "schema_kind": "geomd" if isinstance(schema, GeoMDSchema) else "md",
+        "dimensions": {},
+        "facts": {},
+        "layers": {},
+    }
+    for dim_name, dimension in schema.dimensions.items():
+        table = star.dimension_table(dim_name)
+        levels: dict[str, list[dict]] = {}
+        for level_name in dimension.levels:
+            levels[level_name] = [
+                {
+                    "key": member.key,
+                    "attributes": {
+                        name: _encode_value(value)
+                        for name, value in member.attributes.items()
+                    },
+                    "parents": dict(member.parents),
+                }
+                for member in table.members(level_name)
+            ]
+        data["dimensions"][dim_name] = levels
+    for fact_name in schema.facts:
+        table = star.fact_table(fact_name)
+        data["facts"][fact_name] = {
+            "keys": {
+                dim: list(table.key_column(dim))
+                for dim in table.fact.dimension_names
+            },
+            "measures": {
+                m: list(table.measure_column(m)) for m in table.fact.measures
+            },
+        }
+    for layer_name, layer_table in star.layer_tables.items():
+        data["layers"][layer_name] = [
+            {
+                "name": feature.name,
+                "wkt": wkt_dumps(feature.geometry),
+                "attributes": feature.attributes,
+            }
+            for feature in layer_table.features()
+        ]
+    return data
+
+
+def star_from_dict(data: dict) -> StarSchema:
+    """Rebuild a star schema (and its contents) from a snapshot dict."""
+    if data.get("schema_kind") == "geomd":
+        schema: MDSchema = GeoMDSchema.from_dict(data["schema"])
+    else:
+        schema = MDSchema.from_dict(data["schema"])
+    star = StarSchema(schema)
+
+    for dim_name, levels in data["dimensions"].items():
+        dimension = schema.dimension(dim_name)
+        # Parents must exist before children: insert levels coarsest-first
+        # (reverse of any hierarchy path order containing them).
+        ordered: list[str] = []
+        remaining = set(levels)
+        while remaining:
+            progressed = False
+            for level_name in sorted(remaining):
+                parents = {
+                    coarser
+                    for h in dimension.hierarchies.values()
+                    for finer, coarser in h.rollup_edges()
+                    if finer == level_name
+                }
+                if parents <= set(ordered):
+                    ordered.append(level_name)
+                    remaining.discard(level_name)
+                    progressed = True
+            if not progressed:
+                raise StorageError(
+                    f"snapshot dimension {dim_name!r} has an unsatisfiable "
+                    f"level order"
+                )
+        for level_name in ordered:
+            for member_data in levels[level_name]:
+                star.add_member(
+                    dim_name,
+                    level_name,
+                    member_data["key"],
+                    {
+                        name: _decode_value(value)
+                        for name, value in member_data["attributes"].items()
+                    },
+                    parents=member_data["parents"],
+                )
+
+    for fact_name, fact_data in data["facts"].items():
+        keys = fact_data["keys"]
+        measures = fact_data["measures"]
+        dims = list(keys)
+        measure_names = list(measures)
+        counts = {len(column) for column in keys.values()} | {
+            len(column) for column in measures.values()
+        }
+        if len(counts) > 1:
+            raise StorageError(
+                f"snapshot fact {fact_name!r} has ragged columns: {counts}"
+            )
+        for row in range(next(iter(counts), 0)):
+            star.insert_fact(
+                fact_name,
+                {dim: keys[dim][row] for dim in dims},
+                {m: measures[m][row] for m in measure_names},
+            )
+
+    for layer_name, features in data["layers"].items():
+        table = star.ensure_layer_table(layer_name)
+        for feature in features:
+            table.add_feature(
+                feature["name"],
+                wkt_loads(feature["wkt"]),
+                feature["attributes"],
+            )
+    return star
+
+
+def save_star(star: StarSchema, path: str | Path) -> None:
+    """Write a star snapshot as JSON."""
+    Path(path).write_text(json.dumps(star_to_dict(star), sort_keys=True))
+
+
+def load_star(path: str | Path) -> StarSchema:
+    """Load a star snapshot written by :func:`save_star`."""
+    return star_from_dict(json.loads(Path(path).read_text()))

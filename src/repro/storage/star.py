@@ -1,0 +1,204 @@
+"""The star schema: binding an (Geo)MD schema to its instance tables.
+
+A :class:`StarSchema` owns one :class:`~repro.storage.tables.DimensionTable`
+per dimension, one :class:`~repro.storage.tables.FactTable` per fact and one
+:class:`~repro.storage.tables.LayerTable` per thematic layer.  It enforces
+referential integrity (fact keys must reference leaf members) and geometry
+conformance for spatial levels, and provides the roll-up caches the OLAP
+engine relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import StorageError
+from repro.geomd.schema import GeoMDSchema
+from repro.geometry import Geometry
+from repro.mdm.model import MDSchema
+from repro.storage.tables import DimensionTable, FactTable, Feature, LayerTable, Member
+
+__all__ = ["StarSchema"]
+
+
+class StarSchema:
+    """Instance storage for one (Geo)MD schema."""
+
+    def __init__(self, schema: MDSchema) -> None:
+        self.schema = schema
+        self._dimensions: dict[str, DimensionTable] = {
+            name: DimensionTable(dim) for name, dim in schema.dimensions.items()
+        }
+        self._facts: dict[str, FactTable] = {
+            name: FactTable(fact) for name, fact in schema.facts.items()
+        }
+        self._layers: dict[str, LayerTable] = {}
+        if isinstance(schema, GeoMDSchema):
+            for name, layer in schema.layers.items():
+                self._layers[name] = LayerTable(layer)
+        # (dimension, leaf_key, level) -> ancestor member; filled lazily.
+        self._rollup_cache: dict[tuple[str, str, str], Member] = {}
+
+    # -- access ---------------------------------------------------------------
+
+    def dimension_table(self, name: str) -> DimensionTable:
+        try:
+            return self._dimensions[name]
+        except KeyError:
+            raise StorageError(
+                f"star schema has no dimension table {name!r}; "
+                f"available: {sorted(self._dimensions)}"
+            ) from None
+
+    def fact_table(self, name: str | None = None) -> FactTable:
+        if name is None:
+            if len(self._facts) != 1:
+                raise StorageError(
+                    f"star schema has {len(self._facts)} fact tables; "
+                    f"name one explicitly"
+                )
+            return next(iter(self._facts.values()))
+        try:
+            return self._facts[name]
+        except KeyError:
+            raise StorageError(
+                f"star schema has no fact table {name!r}; "
+                f"available: {sorted(self._facts)}"
+            ) from None
+
+    def layer_table(self, name: str) -> LayerTable:
+        try:
+            return self._layers[name]
+        except KeyError:
+            raise StorageError(
+                f"star schema has no layer table {name!r}; "
+                f"available: {sorted(self._layers)}"
+            ) from None
+
+    @property
+    def layer_tables(self) -> dict[str, LayerTable]:
+        return dict(self._layers)
+
+    def ensure_layer_table(self, name: str) -> LayerTable:
+        """Create the table for a layer added to the schema after binding.
+
+        Schema personalization can run ``AddLayer`` on a star that is
+        already loaded; the engine then materializes the table here.
+        """
+        if name in self._layers:
+            return self._layers[name]
+        if not isinstance(self.schema, GeoMDSchema):
+            raise StorageError(
+                "cannot add a layer table to a non-GeoMD star schema"
+            )
+        layer = self.schema.layer(name)
+        table = LayerTable(layer)
+        self._layers[name] = table
+        return table
+
+    # -- loading ----------------------------------------------------------------
+
+    def add_member(
+        self,
+        dimension: str,
+        level: str,
+        key: str,
+        attributes: Mapping[str, object] | None = None,
+        parents: Mapping[str, str] | None = None,
+    ) -> Member:
+        member = self.dimension_table(dimension).add_member(
+            level, key, attributes, parents
+        )
+        self._check_member_geometry(dimension, level, member)
+        return member
+
+    def _check_member_geometry(
+        self, dimension: str, level: str, member: Member
+    ) -> None:
+        if not isinstance(self.schema, GeoMDSchema):
+            return
+        ref = f"{dimension}.{level}"
+        if ref not in self.schema.spatial_levels:
+            return
+        geometry = member.geometry
+        if geometry is None:
+            return  # levels may be spatialized before data is backfilled
+        declared = self.schema.spatial_levels[ref]
+        if not declared.accepts(geometry):
+            raise StorageError(
+                f"member {member.key!r} of spatial level {ref} carries a "
+                f"{geometry.geom_type}, but the level is declared "
+                f"{declared.name}"
+            )
+
+    def insert_fact(
+        self,
+        fact: str,
+        coordinates: Mapping[str, str],
+        measures: Mapping[str, float],
+    ) -> int:
+        """Insert a fact row, checking every key against the leaf members."""
+        table = self.fact_table(fact)
+        for dim_name, key in coordinates.items():
+            dim_table = self.dimension_table(dim_name)
+            leaf = dim_table.dimension.leaf
+            try:
+                dim_table.member(leaf, key)
+            except StorageError:
+                raise StorageError(
+                    f"fact {fact!r}: unknown {dim_name!r} leaf member {key!r}"
+                ) from None
+        return table.insert(coordinates, measures)
+
+    def add_feature(
+        self,
+        layer: str,
+        name: str,
+        geometry: Geometry,
+        attributes: Mapping[str, object] | None = None,
+    ) -> Feature:
+        return self.layer_table(layer).add_feature(name, geometry, attributes)
+
+    # -- roll-up ------------------------------------------------------------------
+
+    def rollup_member(self, dimension: str, leaf_key: str, level: str) -> Member:
+        """Ancestor of a leaf member at ``level`` (cached)."""
+        cache_key = (dimension, leaf_key, level)
+        cached = self._rollup_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        table = self.dimension_table(dimension)
+        leaf_member = table.member(table.dimension.leaf, leaf_key)
+        ancestor = table.rollup(leaf_member, level)
+        self._rollup_cache[cache_key] = ancestor
+        return ancestor
+
+    def leaf_keys_rolled_to(
+        self, dimension: str, level: str, member_keys: Iterable[str]
+    ) -> set[str]:
+        """Leaf member keys whose ancestor at ``level`` is in ``member_keys``."""
+        wanted = set(member_keys)
+        table = self.dimension_table(dimension)
+        out: set[str] = set()
+        for leaf in table.leaf_members():
+            if self.rollup_member(dimension, leaf.key, level).key in wanted:
+                out.add(leaf.key)
+        return out
+
+    # -- statistics -----------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Row counts per table (used by reports and benchmarks)."""
+        out: dict[str, int] = {}
+        for name, table in self._dimensions.items():
+            for level in table.dimension.levels:
+                out[f"dim:{name}.{level}"] = table.size(level)
+        for name, fact_table in self._facts.items():
+            out[f"fact:{name}"] = len(fact_table)
+        for name, layer_table in self._layers.items():
+            out[f"layer:{name}"] = len(layer_table)
+        return out
+
+    def __repr__(self) -> str:
+        facts = {name: len(t) for name, t in self._facts.items()}
+        return f"<StarSchema {self.schema.name} facts={facts}>"

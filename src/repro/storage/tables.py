@@ -1,0 +1,328 @@
+"""In-memory star-schema tables: dimensions, facts and layers.
+
+The reproduction's warehouse substrate.  Dimension tables hold level
+members with explicit roll-up links (the ``r``/``d`` associations of the
+MD profile materialized as parent keys); the fact table is columnar
+(one list per foreign key and per measure) so that OLAP scans and
+personalized selections stay cheap; layer tables hold the geographic
+features that ``AddLayer`` exposes to the rules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import StorageError
+from repro.geomd.schema import GEOMETRY_ATTRIBUTE, Layer
+from repro.geometry import Geometry
+from repro.mdm.model import Dimension, Fact
+
+__all__ = ["Member", "DimensionTable", "FactTable", "Feature", "LayerTable"]
+
+
+class Member:
+    """A member (row) of a dimension level."""
+
+    __slots__ = ("level", "key", "attributes", "parents")
+
+    def __init__(
+        self,
+        level: str,
+        key: str,
+        attributes: Mapping[str, object],
+        parents: Mapping[str, str],
+    ) -> None:
+        self.level = level
+        self.key = key
+        self.attributes = dict(attributes)
+        #: parent level name -> parent member key (one per roll-up edge)
+        self.parents = dict(parents)
+
+    def get(self, attribute: str) -> object:
+        if attribute in self.attributes:
+            return self.attributes[attribute]
+        raise StorageError(
+            f"member {self.key!r} of level {self.level!r} has no attribute "
+            f"{attribute!r}; available: {sorted(self.attributes)}"
+        )
+
+    @property
+    def geometry(self) -> Geometry | None:
+        value = self.attributes.get(GEOMETRY_ATTRIBUTE)
+        if value is None:
+            return None
+        if not isinstance(value, Geometry):
+            raise StorageError(
+                f"member {self.key!r}: geometry attribute holds "
+                f"{type(value).__name__}, not a Geometry"
+            )
+        return value
+
+    def __repr__(self) -> str:
+        return f"<Member {self.level}:{self.key}>"
+
+
+class DimensionTable:
+    """Members of every level of one dimension, with roll-up links."""
+
+    def __init__(self, dimension: Dimension) -> None:
+        self.dimension = dimension
+        self._levels: dict[str, dict[str, Member]] = {
+            name: {} for name in dimension.levels
+        }
+
+    def add_member(
+        self,
+        level: str,
+        key: str,
+        attributes: Mapping[str, object] | None = None,
+        parents: Mapping[str, str] | None = None,
+    ) -> Member:
+        """Insert a member; parent keys are validated against stored members.
+
+        ``parents`` maps parent level name -> parent member key for every
+        roll-up edge leaving ``level``.  Parents must be inserted first
+        (coarsest levels before finer ones).
+        """
+        if level not in self._levels:
+            raise StorageError(
+                f"dimension {self.dimension.name!r} has no level {level!r}"
+            )
+        if key in self._levels[level]:
+            raise StorageError(
+                f"duplicate member {key!r} in level "
+                f"{self.dimension.name}.{level}"
+            )
+        attributes = dict(attributes or {})
+        level_def = self.dimension.level(level)
+        attributes.setdefault(level_def.key, key)
+        for attr_name in attributes:
+            if attr_name not in level_def.attributes and attr_name != GEOMETRY_ATTRIBUTE:
+                raise StorageError(
+                    f"level {self.dimension.name}.{level} has no attribute "
+                    f"{attr_name!r}"
+                )
+        parents = dict(parents or {})
+        expected_parents = {
+            coarser
+            for h in self.dimension.hierarchies.values()
+            for finer, coarser in h.rollup_edges()
+            if finer == level
+        }
+        for parent_level, parent_key in parents.items():
+            if parent_level not in expected_parents:
+                raise StorageError(
+                    f"level {level!r} does not roll up to {parent_level!r}"
+                )
+            if parent_key not in self._levels.get(parent_level, {}):
+                raise StorageError(
+                    f"unknown parent member {parent_key!r} in level "
+                    f"{parent_level!r} (insert coarser levels first)"
+                )
+        missing = expected_parents - set(parents)
+        if missing:
+            raise StorageError(
+                f"member {key!r} of level {level!r} is missing parents for "
+                f"{sorted(missing)}"
+            )
+        member = Member(level, key, attributes, parents)
+        self._levels[level][key] = member
+        return member
+
+    def member(self, level: str, key: str) -> Member:
+        try:
+            return self._levels[level][key]
+        except KeyError:
+            raise StorageError(
+                f"no member {key!r} in level {self.dimension.name}.{level}"
+            ) from None
+
+    def members(self, level: str) -> list[Member]:
+        if level not in self._levels:
+            raise StorageError(
+                f"dimension {self.dimension.name!r} has no level {level!r}"
+            )
+        return list(self._levels[level].values())
+
+    def size(self, level: str) -> int:
+        return len(self._levels[level])
+
+    def rollup(self, member: Member, target_level: str) -> Member:
+        """Walk roll-up links from a member to its ancestor at a level."""
+        if member.level == target_level:
+            return member
+        path = self.dimension.rollup_path(target_level)
+        if member.level not in path:
+            raise StorageError(
+                f"cannot roll up from {member.level!r} to {target_level!r}: "
+                f"no shared hierarchy path"
+            )
+        current = member
+        start = path.index(member.level)
+        for next_level in path[start + 1 :]:
+            parent_key = current.parents.get(next_level)
+            if parent_key is None:
+                raise StorageError(
+                    f"member {current.key!r} of level {current.level!r} has "
+                    f"no parent at level {next_level!r}"
+                )
+            current = self.member(next_level, parent_key)
+            if current.level == target_level:
+                return current
+        return current
+
+    def geometry_of(self, member: Member) -> Geometry | None:
+        return member.geometry
+
+    def leaf_members(self) -> list[Member]:
+        return self.members(self.dimension.leaf)
+
+    def __repr__(self) -> str:
+        sizes = {lv: len(members) for lv, members in self._levels.items()}
+        return f"<DimensionTable {self.dimension.name} {sizes}>"
+
+
+class FactTable:
+    """Columnar fact storage: one key column per dimension, one per measure."""
+
+    def __init__(self, fact: Fact) -> None:
+        self.fact = fact
+        self._keys: dict[str, list[str]] = {d: [] for d in fact.dimension_names}
+        self._measures: dict[str, list[float]] = {m: [] for m in fact.measures}
+        self._count = 0
+
+    def insert(
+        self,
+        coordinates: Mapping[str, str],
+        measures: Mapping[str, float],
+    ) -> int:
+        """Append one fact row; returns its row id."""
+        if set(coordinates) != set(self.fact.dimension_names):
+            raise StorageError(
+                f"fact {self.fact.name!r} expects coordinates for "
+                f"{sorted(self.fact.dimension_names)}, got {sorted(coordinates)}"
+            )
+        if set(measures) != set(self.fact.measures):
+            raise StorageError(
+                f"fact {self.fact.name!r} expects measures "
+                f"{sorted(self.fact.measures)}, got {sorted(measures)}"
+            )
+        for dim_name in self.fact.dimension_names:
+            self._keys[dim_name].append(coordinates[dim_name])
+        for measure_name, value in measures.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise StorageError(
+                    f"measure {measure_name!r} expects a number, got "
+                    f"{type(value).__name__}"
+                )
+            self._measures[measure_name].append(float(value))
+        row_id = self._count
+        self._count += 1
+        return row_id
+
+    def __len__(self) -> int:
+        return self._count
+
+    def key_column(self, dimension: str) -> list[str]:
+        try:
+            return self._keys[dimension]
+        except KeyError:
+            raise StorageError(
+                f"fact {self.fact.name!r} has no dimension {dimension!r}"
+            ) from None
+
+    def measure_column(self, measure: str) -> list[float]:
+        try:
+            return self._measures[measure]
+        except KeyError:
+            raise StorageError(
+                f"fact {self.fact.name!r} has no measure {measure!r}"
+            ) from None
+
+    def row(self, row_id: int) -> dict[str, object]:
+        if not 0 <= row_id < self._count:
+            raise StorageError(
+                f"row id {row_id} out of range (0..{self._count - 1})"
+            )
+        out: dict[str, object] = {
+            dim: self._keys[dim][row_id] for dim in self._keys
+        }
+        out.update(
+            {measure: column[row_id] for measure, column in self._measures.items()}
+        )
+        return out
+
+    def row_ids(self) -> range:
+        return range(self._count)
+
+
+class Feature:
+    """One geographic feature of a thematic layer."""
+
+    __slots__ = ("feature_id", "name", "geometry", "attributes")
+
+    def __init__(
+        self,
+        feature_id: int,
+        name: str,
+        geometry: Geometry,
+        attributes: Mapping[str, object] | None = None,
+    ) -> None:
+        self.feature_id = feature_id
+        self.name = name
+        self.geometry = geometry
+        self.attributes = dict(attributes or {})
+
+    def __repr__(self) -> str:
+        return f"<Feature {self.name!r} #{self.feature_id}>"
+
+
+class LayerTable:
+    """Feature instances of one thematic layer, type-checked on insert."""
+
+    def __init__(self, layer: Layer) -> None:
+        self.layer = layer
+        self._features: list[Feature] = []
+        self._by_name: dict[str, Feature] = {}
+
+    def add_feature(
+        self,
+        name: str,
+        geometry: Geometry,
+        attributes: Mapping[str, object] | None = None,
+    ) -> Feature:
+        if not self.layer.geometric_type.accepts(geometry):
+            raise StorageError(
+                f"layer {self.layer.name!r} is declared "
+                f"{self.layer.geometric_type.name}; got a "
+                f"{geometry.geom_type} for feature {name!r}"
+            )
+        if name in self._by_name:
+            raise StorageError(
+                f"layer {self.layer.name!r} already has a feature {name!r}"
+            )
+        feature = Feature(len(self._features), name, geometry, attributes)
+        self._features.append(feature)
+        self._by_name[name] = feature
+        return feature
+
+    def features(self) -> list[Feature]:
+        return list(self._features)
+
+    def feature(self, name: str) -> Feature:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise StorageError(
+                f"layer {self.layer.name!r} has no feature {name!r}"
+            ) from None
+
+    def geometries(self) -> Iterator[Geometry]:
+        for feature in self._features:
+            yield feature.geometry
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __repr__(self) -> str:
+        return f"<LayerTable {self.layer.name} n={len(self._features)}>"

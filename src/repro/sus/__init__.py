@@ -1,0 +1,19 @@
+"""Spatial-aware user model (the SUS profile of Fig. 3 / Fig. 4).
+
+User-model schemas with stereotyped classes and navigable associations,
+runtime user profiles with session/location context and SpatialSelection
+interest counters, and UML export for figure regeneration.
+"""
+
+from repro.sus.model import UserAssociation, UserClass, UserModelSchema, UserProfile
+from repro.sus.profile import SUSStereotype, sus_metamodel, sus_profile
+
+__all__ = [
+    "SUSStereotype",
+    "UserAssociation",
+    "UserClass",
+    "UserModelSchema",
+    "UserProfile",
+    "sus_metamodel",
+    "sus_profile",
+]

@@ -1,0 +1,51 @@
+"""The SUS (Spatial-aware User model) UML profile — Fig. 3 of the paper.
+
+"The different criteria considered in the user model are defined as an
+extension of the UML class and property concepts.  There have been defined
+different stereotypes for representing the different types of criteria
+(i.e. «Characteristic», «LocationContext») ... the user and the session
+are also defined extending the UML class concept with the stereotypes
+«User» and «Session» respectively.  Finally, the events representing the
+spatial instance selections performed by users are also defined as new
+stereotype «SpatialSelection»."
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.geomd.gtypes_enum import geometric_types_enumeration
+from repro.uml.core import Model, Profile, Stereotype
+
+__all__ = ["SUSStereotype", "sus_profile", "sus_metamodel"]
+
+
+class SUSStereotype(enum.Enum):
+    """The class stereotypes a user-model class can carry."""
+
+    USER = "User"
+    SESSION = "Session"
+    CHARACTERISTIC = "Characteristic"
+    LOCATION_CONTEXT = "LocationContext"
+    SPATIAL_SELECTION = "SpatialSelection"
+
+
+def sus_profile() -> Profile:
+    """The SUS profile: one stereotype per user-model concern."""
+    return Profile(
+        "SUS",
+        [Stereotype(st.value, "Class") for st in SUSStereotype],
+    )
+
+
+def sus_metamodel() -> Model:
+    """The profile packaged as a UML model with the GeometricTypes enum.
+
+    This is the artifact of Fig. 3 itself (the *metamodel* level): the
+    stereotype set plus the enumeration of allowed geometric primitives.
+    FIG3 integration tests assert on its rendering.
+    """
+    model = Model("SpatialAwareUserModelProfile")
+    model.apply_profile(sus_profile())
+    model.add_enumeration(geometric_types_enumeration())
+    return model

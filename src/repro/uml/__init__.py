@@ -1,0 +1,49 @@
+"""Minimal MOF/UML metamodel core with profiles and stereotypes.
+
+All of the paper's design artifacts (MD model, GeoMD model, SUS user model,
+PRML metamodel) are UML profiles; this package provides the common
+machinery: classes, typed properties, associations navigable by role name,
+enumerations, stereotype application with metaclass checks, OCL-style path
+resolution and deterministic PlantUML rendering.
+"""
+
+from repro.uml.core import (
+    BOOLEAN,
+    DATE,
+    GEOMETRY,
+    INTEGER,
+    REAL,
+    STRING,
+    Association,
+    AssociationEnd,
+    DataType,
+    Enumeration,
+    Model,
+    NamedElement,
+    Profile,
+    Property,
+    Stereotype,
+    UMLClass,
+)
+from repro.uml.diagram import class_signature, to_plantuml
+
+__all__ = [
+    "BOOLEAN",
+    "DATE",
+    "GEOMETRY",
+    "INTEGER",
+    "REAL",
+    "STRING",
+    "Association",
+    "AssociationEnd",
+    "DataType",
+    "Enumeration",
+    "Model",
+    "NamedElement",
+    "Profile",
+    "Property",
+    "Stereotype",
+    "UMLClass",
+    "class_signature",
+    "to_plantuml",
+]

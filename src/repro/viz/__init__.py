@@ -1,0 +1,16 @@
+"""Visualization extension (the paper's Section 6 future work).
+
+Dependency-free SVG rendering of personalized sessions: base geography,
+store selections, the session location's distance zone, airport/train
+layers and Example 5.3's widened cities.
+"""
+
+from repro.viz.map import render_session_map, render_world_map
+from repro.viz.svg import SVGCanvas, Viewport
+
+__all__ = [
+    "SVGCanvas",
+    "Viewport",
+    "render_session_map",
+    "render_world_map",
+]

@@ -1,0 +1,129 @@
+"""Minimal SVG document builder (no dependencies).
+
+The drawing substrate for :mod:`repro.viz.map`.  Produces deterministic,
+pretty-printed SVG text; coordinates are mapped from world space (metres,
+y-up) to screen space (pixels, y-down) by the :class:`Viewport`.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.errors import ReproError
+from repro.geometry import Envelope
+
+__all__ = ["Viewport", "SVGCanvas"]
+
+
+class Viewport:
+    """World-to-screen transform preserving aspect ratio."""
+
+    def __init__(
+        self,
+        world: Envelope,
+        width: int = 800,
+        height: int = 600,
+        margin: int = 20,
+    ) -> None:
+        if width <= 2 * margin or height <= 2 * margin:
+            raise ReproError("viewport too small for its margin")
+        self.world = world
+        self.width = width
+        self.height = height
+        self.margin = margin
+        usable_w = width - 2 * margin
+        usable_h = height - 2 * margin
+        scale_x = usable_w / max(world.width, 1e-9)
+        scale_y = usable_h / max(world.height, 1e-9)
+        self.scale = min(scale_x, scale_y)
+
+    def to_screen(self, x: float, y: float) -> tuple[float, float]:
+        sx = self.margin + (x - self.world.min_x) * self.scale
+        sy = self.height - self.margin - (y - self.world.min_y) * self.scale
+        return (round(sx, 2), round(sy, 2))
+
+    def length(self, metres: float) -> float:
+        """A world length in screen pixels."""
+        return round(metres * self.scale, 2)
+
+
+class SVGCanvas:
+    """Accumulates SVG elements and renders the final document."""
+
+    def __init__(self, viewport: Viewport, title: str = "") -> None:
+        self.viewport = viewport
+        self.title = title
+        self._elements: list[str] = []
+
+    # -- primitives -----------------------------------------------------------
+
+    def _attrs(self, attrs: dict[str, object]) -> str:
+        return " ".join(
+            f"{name.replace('_', '-')}={quoteattr(str(value))}"
+            for name, value in attrs.items()
+            if value is not None
+        )
+
+    def circle(self, x: float, y: float, radius_px: float, **attrs: object) -> None:
+        sx, sy = self.viewport.to_screen(x, y)
+        self._elements.append(
+            f'<circle cx="{sx}" cy="{sy}" r="{radius_px}" {self._attrs(attrs)}/>'
+        )
+
+    def world_circle(self, x: float, y: float, radius_m: float, **attrs: object) -> None:
+        """A circle whose radius is a world distance (e.g. the 5 km zone)."""
+        sx, sy = self.viewport.to_screen(x, y)
+        r = self.viewport.length(radius_m)
+        self._elements.append(
+            f'<circle cx="{sx}" cy="{sy}" r="{r}" {self._attrs(attrs)}/>'
+        )
+
+    def polyline(self, coords: list[tuple[float, float]], **attrs: object) -> None:
+        points = " ".join(
+            f"{sx},{sy}" for sx, sy in (self.viewport.to_screen(x, y) for x, y in coords)
+        )
+        self._elements.append(
+            f'<polyline points="{points}" fill="none" {self._attrs(attrs)}/>'
+        )
+
+    def polygon(self, coords: list[tuple[float, float]], **attrs: object) -> None:
+        points = " ".join(
+            f"{sx},{sy}" for sx, sy in (self.viewport.to_screen(x, y) for x, y in coords)
+        )
+        self._elements.append(
+            f'<polygon points="{points}" {self._attrs(attrs)}/>'
+        )
+
+    def text(self, x: float, y: float, content: str, **attrs: object) -> None:
+        sx, sy = self.viewport.to_screen(x, y)
+        self._elements.append(
+            f'<text x="{sx}" y="{sy}" {self._attrs(attrs)}>{escape(content)}</text>'
+        )
+
+    def screen_text(self, sx: float, sy: float, content: str, **attrs: object) -> None:
+        """Text at fixed screen coordinates (legends, titles)."""
+        self._elements.append(
+            f'<text x="{sx}" y="{sy}" {self._attrs(attrs)}>{escape(content)}</text>'
+        )
+
+    def screen_rect(
+        self, sx: float, sy: float, w: float, h: float, **attrs: object
+    ) -> None:
+        self._elements.append(
+            f'<rect x="{sx}" y="{sy}" width="{w}" height="{h}" {self._attrs(attrs)}/>'
+        )
+
+    # -- document -----------------------------------------------------------------
+
+    def render(self) -> str:
+        head = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.viewport.width}" height="{self.viewport.height}" '
+            f'viewBox="0 0 {self.viewport.width} {self.viewport.height}">'
+        )
+        parts = [head]
+        if self.title:
+            parts.append(f"<title>{escape(self.title)}</title>")
+        parts.extend(f"  {element}" for element in self._elements)
+        parts.append("</svg>")
+        return "\n".join(parts)

@@ -1,0 +1,19 @@
+"""Web portal simulation: the "web-based" half of the paper's title.
+
+A dependency-free request/response framework plus a GeWOlap-style portal
+app over the personalization engine (login → personalized view → GeoMDQL
+queries → spatial-selection events → logout), with an optional stdlib
+HTTP adapter for interactive use.
+"""
+
+from repro.web.http import Request, Response, Router, json_response, parse_json_body
+from repro.web.portal import PortalApp
+
+__all__ = [
+    "PortalApp",
+    "Request",
+    "Response",
+    "Router",
+    "json_response",
+    "parse_json_body",
+]

@@ -1,0 +1,122 @@
+"""Request/response primitives and routing for the portal simulation.
+
+A dependency-free, WSGI-flavoured micro-framework: enough for the portal
+(:mod:`repro.web.portal`) to behave like the web SOLAP clients the paper
+targets (GeWOlap-style), while keeping everything in-process and
+deterministic — the environment is offline, so no sockets are used in
+tests or examples (an optional stdlib server adapter is provided in
+:mod:`repro.web.server`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import WebError
+
+__all__ = ["Request", "Response", "Router", "json_response", "parse_json_body"]
+
+
+@dataclass
+class Request:
+    """An HTTP-ish request."""
+
+    method: str
+    path: str
+    body: dict = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    params: dict[str, str] = field(default_factory=dict)  # path parameters
+    query: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def session_token(self) -> str | None:
+        """Session token from the ``X-Session`` header (cookie stand-in)."""
+        return self.headers.get("X-Session")
+
+
+@dataclass
+class Response:
+    """An HTTP-ish response with a JSON body."""
+
+    status: int
+    body: dict = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def json(self) -> dict:
+        return self.body
+
+    def text(self) -> str:
+        return json.dumps(self.body, indent=2, sort_keys=True, default=str)
+
+
+def json_response(body: dict, status: int = 200) -> Response:
+    return Response(status=status, body=body)
+
+
+_PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z_0-9]*)\}")
+
+Handler = Callable[[Request], Response]
+
+
+class Router:
+    """Method+path routing with ``{param}`` captures."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern[str], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        if not pattern.startswith("/"):
+            raise WebError(f"route pattern must start with '/': {pattern!r}")
+        regex = _PARAM_RE.sub(r"(?P<\1>[^/]+)", pattern)
+        self._routes.append((method.upper(), re.compile(f"^{regex}$"), handler))
+
+    def get(self, pattern: str, handler: Handler) -> None:
+        self.add("GET", pattern, handler)
+
+    def post(self, pattern: str, handler: Handler) -> None:
+        self.add("POST", pattern, handler)
+
+    def dispatch(self, request: Request) -> Response:
+        """Route a request; 404/405 are returned, handler errors become 500."""
+        path_matched = False
+        for method, regex, handler in self._routes:
+            match = regex.match(request.path)
+            if match is None:
+                continue
+            path_matched = True
+            if method != request.method.upper():
+                continue
+            request.params = match.groupdict()
+            try:
+                return handler(request)
+            except WebError as exc:
+                return json_response({"error": str(exc)}, status=400)
+            except Exception as exc:  # noqa: BLE001 - surface as 500
+                return json_response(
+                    {"error": f"{type(exc).__name__}: {exc}"}, status=500
+                )
+        if path_matched:
+            return json_response({"error": "method not allowed"}, status=405)
+        return json_response({"error": f"no route for {request.path}"}, status=404)
+
+
+def parse_json_body(raw: bytes | str) -> dict:
+    """Parse a JSON request body, mapping errors to :class:`WebError`."""
+    if isinstance(raw, bytes):
+        raw = raw.decode("utf-8")
+    if not raw.strip():
+        return {}
+    try:
+        body = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise WebError(f"malformed JSON body: {exc}") from exc
+    if not isinstance(body, dict):
+        raise WebError("JSON body must be an object")
+    return body

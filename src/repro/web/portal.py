@@ -1,0 +1,211 @@
+"""The web analysis portal: "web-based personalization" made concrete.
+
+A GeWOlap-style web front end over the personalization engine.  Decision
+makers log in (SessionStart rules fire and build their personalized
+view), run GeoMDQL-lite queries against that view, report spatial
+selections (feeding the interest-tracking rules of Example 5.3), inspect
+their profile and schema, and log out (SessionEnd).
+
+Routes:
+
+======  =======================  ==============================================
+POST    /login                   {"user": ..., "location": [x, y]} -> token
+POST    /logout                  end the session
+GET     /me                      profile snapshot
+GET     /schema                  personalized GeoMD schema (dict form)
+GET     /view                    personalization statistics
+POST    /query                   {"q": "SELECT ..."} over the personalized view
+POST    /selection               {"target": ..., "condition": ...} event report
+POST    /selection/rerun         re-run instance rules after interest changes
+GET     /layers/{name}           features of a thematic layer (WKT)
+======  =======================  ==============================================
+
+All state is in-process; the ``X-Session`` header carries the token.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import WebError
+from repro.geometry import Point
+from repro.olap.gmdql import parse_query
+from repro.olap.query import execute
+from repro.personalization.engine import PersonalizationEngine, PersonalizedSession
+from repro.sus.model import UserProfile
+from repro.web.http import Request, Response, Router, json_response
+
+__all__ = ["PortalApp"]
+
+
+class PortalApp:
+    """The in-process web application."""
+
+    def __init__(self, engine: PersonalizationEngine) -> None:
+        self.engine = engine
+        self.router = Router()
+        self._profiles: dict[str, UserProfile] = {}
+        self._sessions: dict[str, PersonalizedSession] = {}
+        self._token_counter = itertools.count(1)
+        self._register_routes()
+
+    # -- user management ------------------------------------------------------
+
+    def register_user(self, profile: UserProfile) -> None:
+        """Make a profile known to the portal (the paper gathers user data
+        from requirements before runtime)."""
+        self._profiles[profile.user_id] = profile
+
+    # -- request entry point ------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        token: str | None = None,
+    ) -> Response:
+        """Convenience in-process request dispatch."""
+        headers = {"X-Session": token} if token else {}
+        request = Request(
+            method=method, path=path, body=dict(body or {}), headers=headers
+        )
+        return self.router.dispatch(request)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _session_for(self, request: Request) -> PersonalizedSession:
+        token = request.session_token
+        if token is None:
+            raise WebError("missing X-Session header; POST /login first")
+        session = self._sessions.get(token)
+        if session is None or session.closed:
+            raise WebError("invalid or expired session token")
+        return session
+
+    # -- routes ------------------------------------------------------------------
+
+    def _register_routes(self) -> None:
+        self.router.post("/login", self._login)
+        self.router.post("/logout", self._logout)
+        self.router.get("/me", self._me)
+        self.router.get("/schema", self._schema)
+        self.router.get("/view", self._view)
+        self.router.post("/query", self._query)
+        self.router.post("/selection", self._selection)
+        self.router.post("/selection/rerun", self._selection_rerun)
+        self.router.get("/layers/{name}", self._layer)
+
+    def _login(self, request: Request) -> Response:
+        user_id = request.body.get("user")
+        if not user_id:
+            raise WebError("login requires a 'user' field")
+        profile = self._profiles.get(user_id)
+        if profile is None:
+            return json_response({"error": f"unknown user {user_id!r}"}, 404)
+        location = None
+        raw_location = request.body.get("location")
+        if raw_location is not None:
+            if (
+                not isinstance(raw_location, (list, tuple))
+                or len(raw_location) != 2
+            ):
+                raise WebError("'location' must be [x, y]")
+            location = Point(float(raw_location[0]), float(raw_location[1]))
+        session = self.engine.start_session(profile, location=location)
+        token = f"tok-{next(self._token_counter)}"
+        self._sessions[token] = session
+        return json_response(
+            {
+                "token": token,
+                "user": user_id,
+                "rules_fired": [o.rule_name for o in session.outcomes],
+                "view": session.view().stats(),
+            }
+        )
+
+    def _logout(self, request: Request) -> Response:
+        session = self._session_for(request)
+        outcomes = session.end()
+        assert request.session_token is not None
+        del self._sessions[request.session_token]
+        return json_response(
+            {"ended": True, "rules_fired": [o.rule_name for o in outcomes]}
+        )
+
+    def _me(self, request: Request) -> Response:
+        session = self._session_for(request)
+        return json_response(session.profile.to_dict())
+
+    def _schema(self, request: Request) -> Response:
+        session = self._session_for(request)
+        return json_response(session.view().schema.to_dict())
+
+    def _view(self, request: Request) -> Response:
+        session = self._session_for(request)
+        return json_response(session.view().stats())
+
+    def _query(self, request: Request) -> Response:
+        session = self._session_for(request)
+        text = request.body.get("q")
+        if not text:
+            raise WebError("query requires a 'q' field")
+        view = session.view()
+        query = parse_query(text, view.schema)
+        selection = view.fact_rows if view.is_restricted else None
+        cell_set = execute(view.star, query, selection, self.engine.metric)
+        return json_response(
+            {
+                "axes": [str(a) for a in cell_set.axes],
+                "labels": list(cell_set.labels),
+                "rows": [list(row) for row in cell_set.to_rows()],
+                "fact_rows_scanned": cell_set.fact_rows_scanned,
+                "fact_rows_matched": cell_set.fact_rows_matched,
+            }
+        )
+
+    def _selection(self, request: Request) -> Response:
+        session = self._session_for(request)
+        target = request.body.get("target")
+        condition = request.body.get("condition")
+        if not target or not condition:
+            raise WebError("selection requires 'target' and 'condition'")
+        outcomes = session.record_spatial_selection(target, condition)
+        return json_response(
+            {
+                "matched_rules": [o.rule_name for o in outcomes],
+                "profile": session.profile.to_dict(),
+            }
+        )
+
+    def _selection_rerun(self, request: Request) -> Response:
+        session = self._session_for(request)
+        outcomes = session.rerun_instance_rules()
+        return json_response(
+            {
+                "rules_fired": [o.rule_name for o in outcomes],
+                "view": session.view().stats(),
+            }
+        )
+
+    def _layer(self, request: Request) -> Response:
+        session = self._session_for(request)
+        name = request.params["name"]
+        schema = session.view().schema
+        if name not in schema.layers:
+            return json_response({"error": f"no layer {name!r}"}, 404)
+        table = self.engine.star.layer_table(name)
+        return json_response(
+            {
+                "layer": name,
+                "geometric_type": schema.layers[name].geometric_type.name,
+                "features": [
+                    {
+                        "name": f.name,
+                        "wkt": f.geometry.wkt,
+                        "attributes": f.attributes,
+                    }
+                    for f in table.features()
+                ],
+            }
+        )

@@ -1,0 +1,60 @@
+"""Optional stdlib HTTP adapter for the portal.
+
+Serves a :class:`~repro.web.portal.PortalApp` over a real socket with
+``http.server`` — useful for poking the portal with curl on a developer
+machine.  Nothing in the test suite or the benchmarks uses this (the
+reproduction environment is offline); they drive the app object directly.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+from repro.web.http import parse_json_body
+from repro.web.portal import PortalApp
+
+__all__ = ["make_server", "serve"]
+
+
+def _make_handler(app: PortalApp) -> type[BaseHTTPRequestHandler]:
+    class PortalHandler(BaseHTTPRequestHandler):
+        def _dispatch(self, method: str) -> None:
+            length = int(self.headers.get("Content-Length", "0") or "0")
+            raw = self.rfile.read(length) if length else b""
+            body = parse_json_body(raw)
+            token = self.headers.get("X-Session")
+            response = app.handle(method, self.path, body, token)
+            payload = json.dumps(response.body, default=str).encode("utf-8")
+            self.send_response(response.status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            self._dispatch("POST")
+
+        def log_message(self, format: str, *args: object) -> None:
+            pass  # keep test/demo output clean
+
+    return PortalHandler
+
+
+def make_server(
+    app: PortalApp, host: str = "127.0.0.1", port: int = 8080
+) -> HTTPServer:
+    """Build the HTTP server without starting it (port 0 picks a free one)."""
+    return HTTPServer((host, port), _make_handler(app))
+
+
+def serve(app: PortalApp, host: str = "127.0.0.1", port: int = 8080) -> None:
+    """Block serving the portal (Ctrl-C to stop)."""
+    server = make_server(app, host, port)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

@@ -1,0 +1,52 @@
+"""Shared fixtures: the motivating-example world, star and engine."""
+
+import pytest
+
+from repro.data import (
+    ALL_PAPER_RULES,
+    WorldConfig,
+    WorldGeoSource,
+    build_motivating_user_model,
+    build_regional_manager_profile,
+    build_sales_star,
+    generate_world,
+)
+from repro.personalization import PersonalizationEngine
+
+#: Interest threshold used by Example 5.3 in the whole test suite.
+THRESHOLD = 3
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The default deterministic world (module-scope: it is immutable-ish)."""
+    return generate_world(WorldConfig(seed=7))
+
+
+@pytest.fixture()
+def star(world):
+    """A freshly loaded star schema (mutated by personalization tests)."""
+    return build_sales_star(world)
+
+
+@pytest.fixture()
+def user_schema():
+    return build_motivating_user_model()
+
+
+@pytest.fixture()
+def profile(user_schema):
+    return build_regional_manager_profile(user_schema)
+
+
+@pytest.fixture()
+def engine(world, star, user_schema):
+    """Engine with every paper rule registered."""
+    eng = PersonalizationEngine(
+        star,
+        user_schema,
+        geo_source=WorldGeoSource(world),
+        parameters={"threshold": THRESHOLD},
+    )
+    eng.add_rules(ALL_PAPER_RULES.values())
+    return eng

@@ -1,0 +1,71 @@
+"""Tests for the GeometricTypes enumeration (Fig. 3)."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geomd import GeometricType, geometric_types_enumeration
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    Point,
+    Polygon,
+)
+
+
+class TestAccepts:
+    def test_point(self):
+        assert GeometricType.POINT.accepts(Point(0, 0))
+        assert GeometricType.POINT.accepts(MultiPoint([Point(0, 0)]))
+        assert not GeometricType.POINT.accepts(LineString([(0, 0), (1, 1)]))
+
+    def test_line(self):
+        assert GeometricType.LINE.accepts(LineString([(0, 0), (1, 1)]))
+        assert GeometricType.LINE.accepts(
+            MultiLineString([LineString([(0, 0), (1, 1)])])
+        )
+        assert not GeometricType.LINE.accepts(Point(0, 0))
+
+    def test_polygon(self):
+        assert GeometricType.POLYGON.accepts(Polygon([(0, 0), (1, 0), (1, 1)]))
+        assert not GeometricType.POLYGON.accepts(Point(0, 0))
+
+    def test_collection_accepts_everything(self):
+        for geom in (
+            Point(0, 0),
+            LineString([(0, 0), (1, 1)]),
+            GeometryCollection(()),
+        ):
+            assert GeometricType.COLLECTION.accepts(geom)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "geom, expected",
+        [
+            (Point(0, 0), GeometricType.POINT),
+            (LineString([(0, 0), (1, 1)]), GeometricType.LINE),
+            (Polygon([(0, 0), (1, 0), (1, 1)]), GeometricType.POLYGON),
+            (GeometryCollection(()), GeometricType.COLLECTION),
+        ],
+    )
+    def test_of(self, geom, expected):
+        assert GeometricType.of(geom) is expected
+
+
+class TestParse:
+    def test_case_insensitive(self):
+        assert GeometricType.parse("point") is GeometricType.POINT
+        assert GeometricType.parse("LINE") is GeometricType.LINE
+
+    def test_unknown(self):
+        with pytest.raises(GeometryError):
+            GeometricType.parse("CIRCLE")
+
+
+class TestEnumeration:
+    def test_matches_paper(self):
+        enum = geometric_types_enumeration()
+        assert enum.name == "GeometricTypes"
+        assert enum.literals == ("POINT", "LINE", "POLYGON", "COLLECTION")

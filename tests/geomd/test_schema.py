@@ -1,0 +1,111 @@
+"""Tests for the GeoMD schema and its personalization algebra."""
+
+import pytest
+
+from repro.data import build_sales_schema
+from repro.errors import SchemaError
+from repro.geomd import GEOMETRY_ATTRIBUTE, GeoMDSchema, GeometricType, Layer
+from repro.mdm.model import Attribute
+from repro.uml.core import STRING
+
+
+@pytest.fixture()
+def geo():
+    return GeoMDSchema.from_md(build_sales_schema())
+
+
+class TestLift:
+    def test_from_md_is_independent_copy(self, geo):
+        md = build_sales_schema()
+        geo.become_spatial("Store.Store", GeometricType.POINT)
+        # Lifting again from the original must not see the change.
+        fresh = GeoMDSchema.from_md(md)
+        assert not fresh.spatial_levels
+        assert GEOMETRY_ATTRIBUTE not in md.dimensions["Store"].levels["Store"].attributes
+
+    def test_initially_not_spatial(self, geo):
+        assert geo.layers == {}
+        assert geo.spatial_levels == {}
+
+
+class TestBecomeSpatial:
+    def test_adds_geometry_attribute(self, geo):
+        geo.become_spatial("Store.Store", GeometricType.POINT)
+        level = geo.dimension("Store").level("Store")
+        assert GEOMETRY_ATTRIBUTE in level.attributes
+        assert geo.is_spatial_level("Store.Store")
+        assert geo.level_geometric_type("Store.Store") is GeometricType.POINT
+
+    def test_dimension_shorthand_targets_leaf(self, geo):
+        geo.become_spatial("Store", GeometricType.POINT)
+        assert geo.is_spatial_level("Store.Store")
+
+    def test_idempotent_same_type(self, geo):
+        geo.become_spatial("Store.Store", GeometricType.POINT)
+        geo.become_spatial("Store.Store", GeometricType.POINT)
+        assert geo.level_geometric_type("Store.Store") is GeometricType.POINT
+
+    def test_conflicting_type_rejected(self, geo):
+        geo.become_spatial("Store.Store", GeometricType.POINT)
+        with pytest.raises(SchemaError):
+            geo.become_spatial("Store.Store", GeometricType.POLYGON)
+
+    def test_unknown_level_rejected(self, geo):
+        with pytest.raises(SchemaError):
+            geo.become_spatial("Store.Planet", GeometricType.POINT)
+
+    def test_bad_ref_shape(self, geo):
+        with pytest.raises(SchemaError):
+            geo.become_spatial("Store.City.name", GeometricType.POINT)
+
+    def test_non_spatial_level_type_query_fails(self, geo):
+        with pytest.raises(SchemaError):
+            geo.level_geometric_type("Store.City")
+
+
+class TestAddLayer:
+    def test_basic(self, geo):
+        layer = geo.add_layer("Airport", GeometricType.POINT)
+        assert layer.name == "Airport"
+        assert geo.layer("Airport").geometric_type is GeometricType.POINT
+
+    def test_name_attribute_added(self, geo):
+        layer = geo.add_layer("Airport", GeometricType.POINT)
+        assert "name" in layer.attributes
+
+    def test_idempotent_same_type(self, geo):
+        first = geo.add_layer("Airport", GeometricType.POINT)
+        second = geo.add_layer("Airport", GeometricType.POINT)
+        assert first is second
+
+    def test_conflicting_type_rejected(self, geo):
+        geo.add_layer("Airport", GeometricType.POINT)
+        with pytest.raises(SchemaError):
+            geo.add_layer("Airport", GeometricType.LINE)
+
+    def test_unknown_layer_lookup(self, geo):
+        with pytest.raises(SchemaError):
+            geo.layer("Ghost")
+
+    def test_layer_with_attributes(self, geo):
+        layer = geo.add_layer(
+            "Highway",
+            GeometricType.LINE,
+            [Attribute("lanes", STRING)],
+        )
+        assert "lanes" in layer.attributes
+
+    def test_layer_requires_name(self):
+        with pytest.raises(SchemaError):
+            Layer("", GeometricType.POINT)
+
+
+class TestSerialization:
+    def test_round_trip(self, geo):
+        geo.become_spatial("Store.Store", GeometricType.POINT)
+        geo.add_layer("Airport", GeometricType.POINT)
+        geo.add_layer("Train", GeometricType.LINE)
+        rebuilt = GeoMDSchema.from_dict(geo.to_dict())
+        assert rebuilt.to_dict() == geo.to_dict()
+        assert rebuilt.is_spatial_level("Store.Store")
+        assert rebuilt.layer("Train").geometric_type is GeometricType.LINE

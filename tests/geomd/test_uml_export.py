@@ -1,0 +1,51 @@
+"""Tests for GeoMD -> UML export (Fig. 6 regeneration path)."""
+
+from repro.data import build_sales_schema
+from repro.geomd import GeoMDSchema, GeometricType, geomd_profile, geomd_to_uml
+from repro.uml import to_plantuml
+
+
+def _fig6_schema():
+    geo = GeoMDSchema.from_md(build_sales_schema())
+    geo.become_spatial("Store.Store", GeometricType.POINT)
+    geo.add_layer("Airport", GeometricType.POINT)
+    geo.add_layer("Train", GeometricType.LINE)
+    return geo
+
+
+class TestProfile:
+    def test_adds_spatial_stereotypes(self):
+        profile = geomd_profile()
+        assert "SpatialLevel" in profile.stereotypes
+        assert "Layer" in profile.stereotypes
+        assert "Fact" in profile.stereotypes  # inherits MD profile
+
+
+class TestExport:
+    def test_spatial_level_stereotype(self):
+        model = geomd_to_uml(_fig6_schema())
+        store = model.cls("Store")
+        assert store.has_stereotype("SpatialLevel")
+        assert not store.has_stereotype("Base")
+
+    def test_layer_classes(self):
+        model = geomd_to_uml(_fig6_schema())
+        airport = model.cls("Airport")
+        assert airport.has_stereotype("Layer")
+        assert "geometry" in airport.properties
+        assert "POINT" in airport.property("geometry").stereotypes
+        train = model.cls("Train")
+        assert "LINE" in train.property("geometry").stereotypes
+
+    def test_geometric_types_enum_present(self):
+        model = geomd_to_uml(_fig6_schema())
+        assert "GeometricTypes" in model.enumerations
+
+    def test_non_spatial_levels_keep_base(self):
+        model = geomd_to_uml(_fig6_schema())
+        assert model.cls("State").has_stereotype("Base")
+
+    def test_renders(self):
+        text = to_plantuml(geomd_to_uml(_fig6_schema()))
+        assert "class Store <<SpatialLevel>>" in text
+        assert "class Airport <<Layer>>" in text

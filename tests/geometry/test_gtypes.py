@@ -1,0 +1,208 @@
+"""Unit tests for the geometry object model."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Envelope,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    as_point,
+)
+
+
+class TestEnvelope:
+    def test_properties(self):
+        env = Envelope(0, 1, 4, 5)
+        assert env.width == 4
+        assert env.height == 4
+        assert env.area == 16
+        assert env.center == (2.0, 3.0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(GeometryError):
+            Envelope(1, 0, 0, 0)
+
+    def test_intersects_and_contains(self):
+        a = Envelope(0, 0, 2, 2)
+        b = Envelope(1, 1, 3, 3)
+        c = Envelope(5, 5, 6, 6)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        assert a.contains(Envelope(0.5, 0.5, 1.5, 1.5))
+        assert not a.contains(b)
+
+    def test_touching_envelopes_intersect(self):
+        assert Envelope(0, 0, 1, 1).intersects(Envelope(1, 0, 2, 1))
+
+    def test_union(self):
+        u = Envelope(0, 0, 1, 1).union(Envelope(2, 2, 3, 3))
+        assert (u.min_x, u.min_y, u.max_x, u.max_y) == (0, 0, 3, 3)
+
+    def test_distance(self):
+        assert Envelope(0, 0, 1, 1).distance(Envelope(4, 4, 5, 5)) == pytest.approx(
+            math.hypot(3, 3)
+        )
+        assert Envelope(0, 0, 2, 2).distance(Envelope(1, 1, 3, 3)) == 0.0
+
+    def test_expanded(self):
+        env = Envelope(0, 0, 1, 1).expanded(2)
+        assert (env.min_x, env.min_y, env.max_x, env.max_y) == (-2, -2, 3, 3)
+
+
+class TestPoint:
+    def test_basic(self):
+        p = Point(1, 2)
+        assert p.coord == (1.0, 2.0)
+        assert p.dimension == 0
+        assert not p.is_empty
+        assert list(p.coords()) == [(1.0, 2.0)]
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            Point(float("nan"), 0)
+
+    def test_rejects_inf(self):
+        with pytest.raises(GeometryError):
+            Point(0, float("inf"))
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_as_point_coercion(self):
+        assert as_point((1, 2)) == Point(1, 2)
+        assert as_point(Point(3, 4)) == Point(3, 4)
+        with pytest.raises(GeometryError):
+            as_point("nope")
+
+
+class TestLineString:
+    def test_basic(self):
+        line = LineString([(0, 0), (3, 0), (3, 4)])
+        assert line.length == 7.0
+        assert line.dimension == 1
+        assert not line.is_closed
+        assert len(list(line.segments())) == 2
+
+    def test_requires_two_points(self):
+        with pytest.raises(GeometryError):
+            LineString([(0, 0)])
+
+    def test_rejects_repeated_vertex(self):
+        with pytest.raises(GeometryError):
+            LineString([(0, 0), (0, 0), (1, 1)])
+
+    def test_closed_ring_line(self):
+        ring = LineString([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert ring.is_closed
+
+    def test_arc_between(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.arc_between(Point(2, 1), Point(8, -1)) == pytest.approx(6.0)
+
+    def test_envelope(self):
+        env = LineString([(0, 0), (3, 4)]).envelope
+        assert (env.min_x, env.min_y, env.max_x, env.max_y) == (0, 0, 3, 4)
+
+
+class TestPolygon:
+    def test_area_and_perimeter(self):
+        square = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert square.area == 4.0
+        assert square.perimeter == 8.0
+        assert square.dimension == 2
+
+    def test_orientation_normalized(self):
+        cw = Polygon([(0, 0), (0, 1), (1, 1), (1, 0)])
+        ccw = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert cw == ccw
+
+    def test_closing_vertex_dropped(self):
+        closed = Polygon([(0, 0), (1, 0), (1, 1), (0, 1), (0, 0)])
+        assert len(closed.shell) == 4
+
+    def test_hole_subtracts_area(self):
+        donut = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (3, 1), (3, 3), (1, 3)]],
+        )
+        assert donut.area == 16.0 - 4.0
+
+    def test_point_classification_with_hole(self):
+        donut = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (3, 1), (3, 3), (1, 3)]],
+        )
+        assert donut.locate_coord((0.5, 0.5)) == "interior"
+        assert donut.locate_coord((2, 2)) == "exterior"  # inside the hole
+        assert donut.locate_coord((1, 2)) == "boundary"  # on the hole ring
+        assert donut.locate_coord((5, 5)) == "exterior"
+
+    def test_rejects_self_intersection(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 1), (1, 0), (0, 1)])
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 1), (2, 2)])
+
+    def test_rejects_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 0)])
+
+
+class TestCollections:
+    def test_multipoint(self):
+        mp = MultiPoint([Point(0, 0), Point(1, 1)])
+        assert len(mp) == 2
+        assert mp.dimension == 0
+
+    def test_multipoint_type_check(self):
+        with pytest.raises(GeometryError):
+            MultiPoint([Point(0, 0), LineString([(0, 0), (1, 1)])])
+
+    def test_multilinestring_length(self):
+        mls = MultiLineString(
+            [LineString([(0, 0), (1, 0)]), LineString([(0, 1), (2, 1)])]
+        )
+        assert mls.length == 3.0
+        assert mls.dimension == 1
+
+    def test_multipolygon_area(self):
+        mpoly = MultiPolygon(
+            [
+                Polygon([(0, 0), (1, 0), (1, 1), (0, 1)]),
+                Polygon([(2, 2), (4, 2), (4, 4), (2, 4)]),
+            ]
+        )
+        assert mpoly.area == 5.0
+
+    def test_geometry_collection_dimension(self):
+        gc = GeometryCollection([Point(0, 0), LineString([(0, 0), (1, 1)])])
+        assert gc.dimension == 1
+        assert len(gc) == 2
+
+    def test_empty_collection(self):
+        gc = GeometryCollection(())
+        assert gc.is_empty
+
+    def test_collection_rejects_non_geometry(self):
+        with pytest.raises(GeometryError):
+            GeometryCollection([Point(0, 0), "oops"])
+
+    def test_collection_equality(self):
+        a = GeometryCollection([Point(0, 0)])
+        b = GeometryCollection([Point(0, 0)])
+        assert a == b

@@ -1,0 +1,70 @@
+"""Tests for distance metrics and unit conversion."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    HaversineMetric,
+    LineString,
+    PlanarMetric,
+    Point,
+    convert_to_metres,
+)
+
+
+class TestUnits:
+    def test_km(self):
+        assert convert_to_metres(5, "km") == 5000.0
+
+    def test_m(self):
+        assert convert_to_metres(250, "m") == 250.0
+
+    def test_mi(self):
+        assert convert_to_metres(1, "mi") == pytest.approx(1609.344)
+
+    def test_unknown_unit(self):
+        with pytest.raises(GeometryError):
+            convert_to_metres(1, "furlong")
+
+
+class TestPlanarMetric:
+    def test_point_distance(self):
+        metric = PlanarMetric()
+        assert metric.distance(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_line_distance(self):
+        metric = PlanarMetric()
+        assert metric.distance(Point(0, 5), LineString([(0, 0), (10, 0)])) == 5.0
+
+
+class TestHaversineMetric:
+    def test_equator_degree(self):
+        metric = HaversineMetric()
+        d = metric.distance(Point(0, 0), Point(1, 0))
+        # One degree of longitude at the equator is ~111.2 km.
+        assert d == pytest.approx(111_195, rel=0.01)
+
+    def test_known_city_pair(self):
+        # Madrid (-3.70, 40.42) to Alicante (-0.48, 38.35): ~360-370 km.
+        metric = HaversineMetric()
+        d = metric.distance(Point(-3.70, 40.42), Point(-0.48, 38.35))
+        assert 340_000 < d < 390_000
+
+    def test_zero_distance(self):
+        metric = HaversineMetric()
+        assert metric.distance(Point(10, 20), Point(10, 20)) == 0.0
+
+    def test_symmetry(self):
+        metric = HaversineMetric()
+        a, b = Point(2.15, 41.39), Point(-0.48, 38.35)
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a))
+
+    def test_projected_line_distance_close_to_point_form(self):
+        # A short line near a point: projected distance should be close to
+        # the haversine point distance to the nearest line vertex.
+        metric = HaversineMetric()
+        p = Point(0.0, 38.0)
+        line = LineString([(0.1, 38.0), (0.2, 38.0)])
+        d_line = metric.distance(p, line)
+        d_point = metric.distance(p, Point(0.1, 38.0))
+        assert d_line == pytest.approx(d_point, rel=0.02)

@@ -1,0 +1,145 @@
+"""Tests for WKT serialization and parsing."""
+
+import pytest
+
+from repro.errors import WKTError
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    wkt_dumps,
+    wkt_loads,
+)
+
+
+class TestDumps:
+    def test_point(self):
+        assert wkt_dumps(Point(1, 2)) == "POINT (1 2)"
+
+    def test_point_float(self):
+        assert wkt_dumps(Point(1.5, -2.25)) == "POINT (1.5 -2.25)"
+
+    def test_linestring(self):
+        assert wkt_dumps(LineString([(0, 0), (1, 1)])) == "LINESTRING (0 0, 1 1)"
+
+    def test_polygon_closes_ring(self):
+        text = wkt_dumps(Polygon([(0, 0), (1, 0), (1, 1)]))
+        assert text == "POLYGON ((0 0, 1 0, 1 1, 0 0))"
+
+    def test_polygon_with_hole(self):
+        donut = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(1, 1), (3, 1), (3, 3), (1, 3)]],
+        )
+        text = wkt_dumps(donut)
+        assert text.startswith("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (")
+
+    def test_empty_collection(self):
+        assert wkt_dumps(GeometryCollection(())) == "GEOMETRYCOLLECTION EMPTY"
+
+    def test_empty_multipoint(self):
+        assert wkt_dumps(MultiPoint(())) == "MULTIPOINT EMPTY"
+
+    def test_nested_collection(self):
+        gc = GeometryCollection([Point(1, 2), LineString([(0, 0), (1, 1)])])
+        assert (
+            wkt_dumps(gc)
+            == "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))"
+        )
+
+
+class TestLoads:
+    def test_point(self):
+        assert wkt_loads("POINT (1 2)") == Point(1, 2)
+
+    def test_point_case_insensitive(self):
+        assert wkt_loads("point(3 4)") == Point(3, 4)
+
+    def test_scientific_notation(self):
+        p = wkt_loads("POINT (1e3 -2.5E-2)")
+        assert p == Point(1000.0, -0.025)
+
+    def test_linestring(self):
+        line = wkt_loads("LINESTRING (0 0, 1 0, 1 1)")
+        assert isinstance(line, LineString)
+        assert line.coord_list == ((0, 0), (1, 0), (1, 1))
+
+    def test_polygon_with_hole(self):
+        poly = wkt_loads(
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 3 1, 3 3, 1 3, 1 1))"
+        )
+        assert isinstance(poly, Polygon)
+        assert len(poly.holes) == 1
+
+    def test_multipoint_plain_form(self):
+        mp = wkt_loads("MULTIPOINT (1 2, 3 4)")
+        assert isinstance(mp, MultiPoint)
+        assert len(mp) == 2
+
+    def test_multipoint_parenthesized_form(self):
+        mp = wkt_loads("MULTIPOINT ((1 2), (3 4))")
+        assert isinstance(mp, MultiPoint)
+        assert len(mp) == 2
+
+    def test_multilinestring(self):
+        mls = wkt_loads("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))")
+        assert isinstance(mls, MultiLineString)
+        assert len(mls) == 2
+
+    def test_multipolygon(self):
+        mpoly = wkt_loads(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))"
+        )
+        assert isinstance(mpoly, MultiPolygon)
+        assert len(mpoly) == 2
+
+    def test_geometrycollection(self):
+        gc = wkt_loads("GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))")
+        assert isinstance(gc, GeometryCollection)
+        assert len(gc) == 2
+
+    def test_empty_keyword(self):
+        assert wkt_loads("GEOMETRYCOLLECTION EMPTY").is_empty
+        assert wkt_loads("MULTIPOINT EMPTY").is_empty
+
+    def test_unknown_type(self):
+        with pytest.raises(WKTError):
+            wkt_loads("TRIANGLE ((0 0, 1 0, 0 1))")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(WKTError):
+            wkt_loads("POINT (1 2) extra")
+
+    def test_truncated(self):
+        with pytest.raises(WKTError):
+            wkt_loads("LINESTRING (0 0, 1")
+
+    def test_bad_character(self):
+        with pytest.raises(WKTError):
+            wkt_loads("POINT (1 @)")
+
+
+class TestRoundTrip:
+    FIXTURES = [
+        Point(0, 0),
+        Point(-12.5, 7.25),
+        LineString([(0, 0), (10, 0), (10, 10)]),
+        Polygon([(0, 0), (5, 0), (5, 5), (0, 5)]),
+        Polygon(
+            [(0, 0), (8, 0), (8, 8), (0, 8)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        ),
+        MultiPoint([Point(1, 1), Point(2, 2)]),
+        MultiLineString([LineString([(0, 0), (1, 1)])]),
+        MultiPolygon([Polygon([(0, 0), (1, 0), (1, 1)])]),
+        GeometryCollection([Point(3, 3), LineString([(0, 0), (2, 0)])]),
+        GeometryCollection(()),
+    ]
+
+    @pytest.mark.parametrize("geom", FIXTURES, ids=lambda g: g.geom_type)
+    def test_round_trip(self, geom):
+        assert wkt_loads(wkt_dumps(geom)) == geom

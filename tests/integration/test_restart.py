@@ -1,0 +1,99 @@
+"""Portal-restart scenario: warehouse and profiles persist, state resumes.
+
+The paper's user model "will be updated during the lifetime of the
+system"; this test snapshots a personalized warehouse and a user profile
+mid-interest, simulates a process restart (fresh objects from JSON), and
+checks the widening behaviour resumes exactly where it left off.
+"""
+
+import json
+
+from repro.data import (
+    ALL_PAPER_RULES,
+    WorldGeoSource,
+    build_motivating_user_model,
+    build_regional_manager_profile,
+)
+from repro.personalization import PersonalizationEngine
+from repro.storage import star_from_dict, star_to_dict
+from repro.sus import UserProfile
+
+CONDITION = "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km"
+
+
+class TestRestart:
+    def test_state_resumes_after_restart(self, world, star, user_schema):
+        engine = PersonalizationEngine(
+            star,
+            user_schema,
+            geo_source=WorldGeoSource(world),
+            parameters={"threshold": 3},
+        )
+        engine.add_rules(ALL_PAPER_RULES.values())
+        profile = build_regional_manager_profile(user_schema)
+
+        # Session 1: personalize, accrue interest just below the threshold.
+        session = engine.start_session(profile, world.stores[0].location)
+        for _ in range(3):
+            session.record_spatial_selection("GeoMD.Store.City", CONDITION)
+        session.end()
+
+        # --- "Restart": everything rebuilt from JSON ----------------------
+        star_json = json.dumps(star_to_dict(star))
+        profile_json = json.dumps(profile.to_dict())
+
+        restored_star = star_from_dict(json.loads(star_json))
+        restored_schema = build_motivating_user_model()
+        restored_profile = UserProfile.from_dict(
+            restored_schema, json.loads(profile_json)
+        )
+        assert restored_profile.degree("AirportCity") == 3
+
+        restored_engine = PersonalizationEngine(
+            restored_star,
+            restored_schema,
+            geo_source=WorldGeoSource(world),
+            parameters={"threshold": 3},
+        )
+        restored_engine.add_rules(ALL_PAPER_RULES.values())
+
+        # Session 2 on the restored state: still below threshold.
+        session2 = restored_engine.start_session(
+            restored_profile, world.stores[0].location
+        )
+        assert ("Store", "City") not in session2.selection.members
+
+        # One more selection crosses the threshold; widening kicks in.
+        session2.record_spatial_selection("GeoMD.Store.City", CONDITION)
+        assert restored_profile.degree("AirportCity") == 4
+        session2.rerun_instance_rules()
+        assert ("Store", "City") in session2.selection.members
+        session2.end()
+
+    def test_restored_star_produces_identical_views(self, world, star, user_schema):
+        engine = PersonalizationEngine(
+            star,
+            user_schema,
+            geo_source=WorldGeoSource(world),
+            parameters={"threshold": 3},
+        )
+        engine.add_rules(ALL_PAPER_RULES.values())
+        profile = build_regional_manager_profile(user_schema)
+        session = engine.start_session(profile, world.stores[0].location)
+        original_rows = set(session.view().fact_rows)
+        session.end()
+
+        restored_star = star_from_dict(star_to_dict(star))
+        restored_engine = PersonalizationEngine(
+            restored_star,
+            user_schema,
+            geo_source=WorldGeoSource(world),
+            parameters={"threshold": 3},
+        )
+        restored_engine.add_rules(ALL_PAPER_RULES.values())
+        profile2 = build_regional_manager_profile(user_schema, name="Ana Two")
+        session2 = restored_engine.start_session(
+            profile2, world.stores[0].location
+        )
+        assert set(session2.view().fact_rows) == original_rows
+        session2.end()

@@ -1,0 +1,106 @@
+"""Tests for the GeoMD -> SQL DDL transformation."""
+
+import re
+
+import pytest
+
+from repro.data import build_sales_schema
+from repro.errors import ModelError
+from repro.geomd import GeoMDSchema, GeometricType
+from repro.mda import DIALECTS, generate_ddl
+
+
+@pytest.fixture()
+def fig6_schema():
+    geo = GeoMDSchema.from_md(build_sales_schema())
+    geo.become_spatial("Store.Store", GeometricType.POINT)
+    geo.add_layer("Airport", GeometricType.POINT)
+    geo.add_layer("Train", GeometricType.LINE)
+    return geo
+
+
+class TestStructure:
+    def test_one_table_per_level(self, fig6_schema):
+        ddl = generate_ddl(fig6_schema)
+        tables = re.findall(r"CREATE TABLE (\w+)", ddl)
+        level_count = sum(
+            len(d.levels) for d in fig6_schema.dimensions.values()
+        )
+        # levels + 1 fact + 2 layers
+        assert len(tables) == level_count + 1 + 2
+
+    def test_fact_table_foreign_keys(self, fig6_schema):
+        ddl = generate_ddl(fig6_schema)
+        fact_block = ddl[ddl.index("CREATE TABLE sales") :]
+        fact_block = fact_block[: fact_block.index(";")]
+        for dim in ("customer", "store", "product", "time"):
+            assert f"{dim}_" in fact_block
+        for measure in ("unit_sales", "store_cost", "store_sales"):
+            assert measure in fact_block
+
+    def test_rollup_foreign_keys(self, fig6_schema):
+        ddl = generate_ddl(fig6_schema)
+        store_block = ddl[ddl.index("CREATE TABLE store_store") :]
+        store_block = store_block[: store_block.index(";")]
+        assert "REFERENCES store_city(city_id)" in store_block
+
+    def test_coarse_levels_created_before_fine(self, fig6_schema):
+        ddl = generate_ddl(fig6_schema)
+        assert ddl.index("CREATE TABLE store_state") < ddl.index(
+            "CREATE TABLE store_city"
+        )
+        assert ddl.index("CREATE TABLE store_city") < ddl.index(
+            "CREATE TABLE store_store"
+        )
+
+    def test_key_attribute_unique(self, fig6_schema):
+        ddl = generate_ddl(fig6_schema)
+        store_block = ddl[ddl.index("CREATE TABLE store_store") :]
+        store_block = store_block[: store_block.index(";")]
+        assert "name VARCHAR(255) NOT NULL UNIQUE" in store_block
+
+
+class TestGeometryColumns:
+    def test_generic_dialect_uses_wkt_text(self, fig6_schema):
+        ddl = generate_ddl(fig6_schema, "generic")
+        assert "geometry TEXT /* WKT, declared POINT */" in ddl
+        assert "geometry TEXT /* WKT, declared LINE */" in ddl
+
+    def test_postgis_dialect_uses_typed_geometry(self, fig6_schema):
+        ddl = generate_ddl(fig6_schema, "postgis")
+        assert "geometry geometry(Point)" in ddl
+        assert "geometry geometry(LineString)" in ddl
+        assert "USING GIST" in ddl
+
+    def test_spatial_index_per_geometry_column(self, fig6_schema):
+        ddl = generate_ddl(fig6_schema, "postgis")
+        # Store level + two layers = three spatial indexes.
+        assert ddl.count("USING GIST") == 3
+
+    def test_non_spatial_schema_has_no_geometry(self):
+        ddl = generate_ddl(GeoMDSchema.from_md(build_sales_schema()))
+        assert "geometry" not in ddl
+
+
+class TestLayers:
+    def test_layer_tables(self, fig6_schema):
+        ddl = generate_ddl(fig6_schema)
+        assert "CREATE TABLE layer_airport" in ddl
+        assert "CREATE TABLE layer_train" in ddl
+        assert "name VARCHAR(255) NOT NULL UNIQUE" in ddl
+
+
+class TestDialects:
+    def test_unknown_dialect(self, fig6_schema):
+        with pytest.raises(ModelError):
+            generate_ddl(fig6_schema, "oracle")
+
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_deterministic(self, fig6_schema, dialect):
+        assert generate_ddl(fig6_schema, dialect) == generate_ddl(
+            fig6_schema, dialect
+        )
+
+    def test_plain_md_schema_supported(self):
+        ddl = generate_ddl(build_sales_schema())
+        assert "CREATE TABLE sales" in ddl

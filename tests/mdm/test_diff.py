@@ -1,0 +1,45 @@
+"""Tests for schema diffing (used to assert Fig. 2 -> Fig. 6 changes)."""
+
+from repro.data import build_sales_schema
+from repro.geomd import GeoMDSchema, GeometricType
+from repro.mdm import diff_schemas
+
+
+class TestDiff:
+    def test_identical_schemas(self):
+        a = build_sales_schema()
+        b = build_sales_schema()
+        diff = diff_schemas(a, b)
+        assert diff.is_empty
+        assert diff.summary() == "(no changes)"
+
+    def test_layer_addition_detected(self):
+        before = GeoMDSchema.from_md(build_sales_schema())
+        after = GeoMDSchema.from_md(build_sales_schema())
+        after.add_layer("Airport", GeometricType.POINT)
+        diff = diff_schemas(before, after)
+        assert diff.added_layers == ["Airport"]
+        assert not diff.removed_layers
+
+    def test_spatialization_detected(self):
+        before = GeoMDSchema.from_md(build_sales_schema())
+        after = GeoMDSchema.from_md(build_sales_schema())
+        after.become_spatial("Store.Store", GeometricType.POINT)
+        diff = diff_schemas(before, after)
+        assert diff.spatialized_levels == ["Store.Store"]
+        # become_spatial also adds the geometry attribute.
+        assert "Store.Store.geometry" in diff.added_attributes
+
+    def test_md_vs_geomd_comparison(self):
+        md = build_sales_schema()
+        geo = GeoMDSchema.from_md(md)
+        geo.add_layer("Train", GeometricType.LINE)
+        diff = diff_schemas(md, geo)
+        assert diff.added_layers == ["Train"]
+
+    def test_summary_mentions_changes(self):
+        before = GeoMDSchema.from_md(build_sales_schema())
+        after = GeoMDSchema.from_md(build_sales_schema())
+        after.add_layer("Airport", GeometricType.POINT)
+        text = diff_schemas(before, after).summary()
+        assert "Airport" in text

@@ -1,0 +1,215 @@
+"""Tests for the multidimensional metamodel."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.mdm import (
+    Additivity,
+    Aggregator,
+    Attribute,
+    AttributeKind,
+    Dimension,
+    Fact,
+    Hierarchy,
+    Level,
+    MDSchema,
+    Measure,
+    ResolvedAttribute,
+    ResolvedLevel,
+)
+from repro.data import build_sales_schema
+from repro.uml.core import INTEGER, REAL, STRING
+
+
+class TestLevel:
+    def test_auto_key(self):
+        level = Level("City")
+        assert level.key == "name"
+        assert level.attributes["name"].kind is AttributeKind.DESCRIPTOR
+
+    def test_explicit_key_promoted_to_descriptor(self):
+        level = Level("City", [Attribute("code", STRING)], key="code")
+        assert level.attributes["code"].kind is AttributeKind.DESCRIPTOR
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Level("City", [Attribute("name", STRING)], key="missing")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Level("City", [Attribute("a", STRING), Attribute("a", STRING)])
+
+    def test_attribute_lookup_error(self):
+        with pytest.raises(SchemaError, match="available"):
+            Level("City").attribute("missing")
+
+
+class TestHierarchy:
+    def test_rollup_edges(self):
+        h = Hierarchy("geo", ["Store", "City", "State"])
+        assert list(h.rollup_edges()) == [("Store", "City"), ("City", "State")]
+
+    def test_repeated_level_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("h", ["A", "B", "A"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("h", [])
+
+
+class TestDimension:
+    def _dim(self):
+        return Dimension(
+            "Store",
+            [Level("Store"), Level("City"), Level("State")],
+            [Hierarchy("geo", ["Store", "City", "State"])],
+            leaf="Store",
+        )
+
+    def test_leaf_level(self):
+        assert self._dim().leaf_level.name == "Store"
+
+    def test_default_hierarchy_created(self):
+        dim = Dimension("Time", [Level("Day")])
+        assert "default" in dim.hierarchies
+
+    def test_hierarchy_must_start_at_leaf(self):
+        with pytest.raises(SchemaError):
+            Dimension(
+                "Store",
+                [Level("Store"), Level("City")],
+                [Hierarchy("bad", ["City", "Store"])],
+                leaf="Store",
+            )
+
+    def test_hierarchy_unknown_level(self):
+        with pytest.raises(SchemaError):
+            Dimension(
+                "Store",
+                [Level("Store")],
+                [Hierarchy("bad", ["Store", "Ghost"])],
+            )
+
+    def test_rollup_path(self):
+        assert self._dim().rollup_path("State") == ("Store", "City", "State")
+
+    def test_rollup_path_unknown(self):
+        with pytest.raises(SchemaError):
+            self._dim().rollup_path("Country")
+
+    def test_parent_level(self):
+        dim = self._dim()
+        assert dim.parent_level("Store") == "City"
+        assert dim.parent_level("State") is None
+
+    def test_opposing_hierarchies_rejected(self):
+        with pytest.raises(SchemaError):
+            Dimension(
+                "D",
+                [Level("D"), Level("A"), Level("B")],
+                [
+                    Hierarchy("h1", ["D", "A", "B"]),
+                    Hierarchy("h2", ["D", "B", "A"]),
+                ],
+            )
+
+
+class TestMeasure:
+    def test_requires_numeric_type(self):
+        with pytest.raises(SchemaError):
+            Measure("bad", STRING)
+
+    def test_non_additive_sum_rejected(self):
+        with pytest.raises(SchemaError):
+            Measure(
+                "ratio",
+                REAL,
+                Aggregator.SUM,
+                Additivity.NON_ADDITIVE,
+            )
+
+    def test_non_additive_avg_allowed(self):
+        measure = Measure("ratio", REAL, Aggregator.AVG, Additivity.NON_ADDITIVE)
+        assert measure.default_aggregator is Aggregator.AVG
+
+
+class TestFact:
+    def test_requires_dimension(self):
+        with pytest.raises(SchemaError):
+            Fact("F", [], [Measure("m", INTEGER)])
+
+    def test_requires_measure(self):
+        with pytest.raises(SchemaError):
+            Fact("F", ["D"], [])
+
+    def test_duplicate_dimension_rejected(self):
+        with pytest.raises(SchemaError):
+            Fact("F", ["D", "D"], [Measure("m", INTEGER)])
+
+
+class TestSchemaResolve:
+    @pytest.fixture()
+    def schema(self):
+        return build_sales_schema()
+
+    def test_fact_measure(self, schema):
+        resolved = schema.resolve(["Sales", "UnitSales"])
+        assert isinstance(resolved, ResolvedAttribute)
+        assert resolved.qualified_name == "Sales.UnitSales"
+
+    def test_fact_dimension_leaf(self, schema):
+        resolved = schema.resolve(["Sales", "Store"])
+        assert isinstance(resolved, ResolvedLevel)
+        assert resolved.qualified_name == "Store.Store"
+
+    def test_fact_dimension_level_attr(self, schema):
+        resolved = schema.resolve(["Sales", "Store", "State", "name"])
+        assert isinstance(resolved, ResolvedAttribute)
+        assert resolved.qualified_name == "Store.State.name"
+
+    def test_leaf_attr_without_level_step(self, schema):
+        resolved = schema.resolve(["Sales", "Store", "address"])
+        assert isinstance(resolved, ResolvedAttribute)
+        assert resolved.level.level.name == "Store"
+
+    def test_dimension_first_path(self, schema):
+        resolved = schema.resolve(["Store", "City"])
+        assert isinstance(resolved, ResolvedLevel)
+        assert resolved.level.name == "City"
+
+    def test_unknown_step(self, schema):
+        with pytest.raises(SchemaError):
+            schema.resolve(["Sales", "Store", "Galaxy"])
+
+    def test_path_past_attribute(self, schema):
+        with pytest.raises(SchemaError):
+            schema.resolve(["Sales", "Store", "name", "extra"])
+
+    def test_wrong_fact_dimension_pair(self, schema):
+        lonely = MDSchema(
+            "S2",
+            [Dimension("D", [Level("D")]), Dimension("E", [Level("E")])],
+            [Fact("F", ["D"], [Measure("m", INTEGER)])],
+        )
+        with pytest.raises(SchemaError):
+            lonely.resolve(["F", "E"])
+
+    def test_empty_path(self, schema):
+        with pytest.raises(SchemaError):
+            schema.resolve([])
+
+    def test_default_fact(self, schema):
+        assert schema.default_fact().name == "Sales"
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        schema = build_sales_schema()
+        rebuilt = MDSchema.from_dict(schema.to_dict())
+        assert rebuilt.to_dict() == schema.to_dict()
+
+    def test_round_trip_preserves_resolution(self):
+        schema = MDSchema.from_dict(build_sales_schema().to_dict())
+        resolved = schema.resolve(["Sales", "Store", "City", "population"])
+        assert isinstance(resolved, ResolvedAttribute)

@@ -1,0 +1,65 @@
+"""Tests for MD schema -> UML compilation (Fig. 2 regeneration path)."""
+
+from repro.data import build_sales_schema
+from repro.mdm import md_profile, schema_to_uml
+from repro.uml import to_plantuml
+
+
+class TestProfile:
+    def test_stereotype_set(self):
+        profile = md_profile()
+        for name in (
+            "Fact",
+            "Dimension",
+            "Base",
+            "FactAttribute",
+            "Descriptor",
+            "DimensionAttribute",
+            "Rolls-upTo",
+        ):
+            assert name in profile.stereotypes
+
+
+class TestExport:
+    def test_fact_class(self):
+        model = schema_to_uml(build_sales_schema())
+        sales = model.cls("Sales")
+        assert sales.has_stereotype("Fact")
+        assert set(sales.properties) == {"UnitSales", "StoreCost", "StoreSales"}
+        assert all(
+            "FactAttribute" in p.stereotypes for p in sales.properties.values()
+        )
+
+    def test_levels_are_base_classes(self):
+        model = schema_to_uml(build_sales_schema())
+        # Store dimension's own class is suffixed to avoid the name clash
+        # with its leaf level class.
+        assert model.cls("StoreDim").has_stereotype("Dimension")
+        assert model.cls("Store").has_stereotype("Base")
+        assert model.cls("State").has_stereotype("Base")
+
+    def test_descriptor_stereotypes(self):
+        model = schema_to_uml(build_sales_schema())
+        store = model.cls("Store")
+        assert "Descriptor" in store.property("name").stereotypes
+        assert "DimensionAttribute" in store.property("address").stereotypes
+
+    def test_rollup_roles(self):
+        model = schema_to_uml(build_sales_schema())
+        rollup = model.associations["Store_rollsup_City"]
+        assert rollup.stereotypes == {"Rolls-upTo"}
+        roles = {rollup.source.role, rollup.target.role}
+        assert roles == {"d", "r"}
+
+    def test_shared_level_names_qualified(self):
+        # Customer and Store both have a City level; the second one gets a
+        # dimension-qualified class name.
+        model = schema_to_uml(build_sales_schema())
+        assert "City" in model.classes
+        assert "Store_City" in model.classes or "Customer_City" in model.classes
+
+    def test_validates_and_renders(self):
+        model = schema_to_uml(build_sales_schema())
+        assert model.validate() == []
+        text = to_plantuml(model)
+        assert "class Sales <<Fact>>" in text

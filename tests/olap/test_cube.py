@@ -1,0 +1,103 @@
+"""Tests for interactive cube navigation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.mdm import Aggregator
+from repro.olap import AggSpec, Cube
+
+
+class TestNavigation:
+    def test_default_measures(self, star):
+        cube = Cube(star)
+        labels = {spec.label for spec in cube.aggregations}
+        assert "SUM(UnitSales)" in labels
+
+    def test_by_and_result(self, star):
+        result = Cube(star).by("Store.City").result()
+        assert len(result) > 1
+
+    def test_roll_up(self, star):
+        cube = Cube(star).by("Store.Store")
+        up = cube.roll_up("Store")
+        assert up.group_by[0].level == "City"
+        upup = up.roll_up("Store")
+        assert upup.group_by[0].level == "State"
+
+    def test_roll_up_past_top_fails(self, star):
+        cube = Cube(star).by("Store.State")
+        with pytest.raises(QueryError):
+            cube.roll_up("Store")
+
+    def test_drill_down(self, star):
+        cube = Cube(star).by("Store.State")
+        down = cube.drill_down("Store")
+        assert down.group_by[0].level == "City"
+
+    def test_drill_down_past_leaf_fails(self, star):
+        with pytest.raises(QueryError):
+            Cube(star).by("Store.Store").drill_down("Store")
+
+    def test_shift_requires_grouped_dimension(self, star):
+        with pytest.raises(QueryError):
+            Cube(star).by("Time.Month").roll_up("Store")
+
+    def test_rollup_totals_preserved(self, star):
+        by_city = Cube(star).measures(AggSpec(Aggregator.SUM, "UnitSales")).by(
+            "Store.City"
+        )
+        by_state = by_city.roll_up("Store")
+        total_city = sum(v[0] for v in by_city.result().cells.values())
+        total_state = sum(v[0] for v in by_state.result().cells.values())
+        assert total_city == pytest.approx(total_state)
+
+
+class TestSliceDice:
+    def test_slice(self, star, world):
+        state = world.states[0].name
+        cube = Cube(star).measures(AggSpec(Aggregator.COUNT, "*")).slice(
+            "Store.State", "name", state
+        )
+        sliced = cube.count()
+        assert 0 < sliced < len(star.fact_table())
+
+    def test_chained_slices_conjunctive(self, star, world):
+        state = world.states[0].name
+        family_cube = (
+            Cube(star)
+            .measures(AggSpec(Aggregator.COUNT, "*"))
+            .slice("Store.State", "name", state)
+            .slice("Product.Family", "name", "Food")
+        )
+        both = family_cube.count()
+        one = (
+            Cube(star)
+            .measures(AggSpec(Aggregator.COUNT, "*"))
+            .slice("Store.State", "name", state)
+            .count()
+        )
+        assert both <= one
+
+    def test_count_empty_result(self, star):
+        cube = Cube(star).measures(AggSpec(Aggregator.COUNT, "*")).slice(
+            "Store.State", "name", "Nowhere"
+        )
+        assert cube.count() == 0.0
+
+
+class TestSelection:
+    def test_with_selection(self, star):
+        rows = list(range(100))
+        cube = Cube(star).with_selection(rows)
+        assert cube.count() == 100.0
+
+    def test_selection_cleared(self, star):
+        cube = Cube(star).with_selection(range(10)).with_selection(None)
+        assert cube.count() == len(star.fact_table())
+
+    def test_immutability(self, star):
+        base = Cube(star)
+        modified = base.by("Store.City").slice("Product.Family", "name", "Food")
+        assert base.group_by == ()
+        assert base.where == ()
+        assert modified.group_by != ()

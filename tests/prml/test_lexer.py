@@ -1,0 +1,108 @@
+"""Tests for the PRML lexer."""
+
+import pytest
+
+from repro.errors import PRMLSyntaxError
+from repro.prml import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestBasics:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("Rule When do endWhen myIdent")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.KEYWORD,
+            TokenKind.KEYWORD,
+            TokenKind.KEYWORD,
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+        ]
+
+    def test_case_sensitivity(self):
+        # 'rule' (lowercase) is not a keyword in the paper's syntax.
+        assert kinds("rule") == [TokenKind.IDENT]
+
+    def test_punctuation_and_operators(self):
+        assert values("(a.b, c) <= 5 <> 3") == [
+            "(", "a", ".", "b", ",", "c", ")", "<=", "5", "<>", "3",
+        ]
+
+    def test_eof_token(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == TokenKind.EOF
+
+
+class TestLiterals:
+    def test_number(self):
+        tokens = tokenize("42 3.25")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.NUMBER] * 2
+
+    def test_quantity(self):
+        tokens = tokenize("5km 250m 2mi")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.QUANTITY] * 3
+        assert [t.value for t in tokens[:-1]] == ["5km", "250m", "2mi"]
+
+    def test_quantity_case_insensitive_unit(self):
+        tokens = tokenize("5KM")
+        assert tokens[0].kind == TokenKind.QUANTITY
+        assert tokens[0].value == "5km"
+
+    def test_non_unit_suffix_splits(self):
+        # Rule names like 5kmStores: NUMBER followed by IDENT.
+        tokens = tokenize("5kmStores")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.NUMBER,
+            TokenKind.IDENT,
+        ]
+
+    def test_string(self):
+        tokens = tokenize("'Regional Sales Manager'")
+        assert tokens[0].kind == TokenKind.STRING
+        assert tokens[0].value == "Regional Sales Manager"
+
+    def test_string_escape(self):
+        tokens = tokenize("'O''Hare'")
+        assert tokens[0].value == "O'Hare"
+
+    def test_unterminated_string(self):
+        with pytest.raises(PRMLSyntaxError):
+            tokenize("'oops")
+
+    def test_decimal_quantity(self):
+        tokens = tokenize("2.5km")
+        assert tokens[0].kind == TokenKind.QUANTITY
+        assert tokens[0].value == "2.5km"
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(PRMLSyntaxError) as excinfo:
+            tokenize("a\n  @")
+        assert excinfo.value.line == 2
+
+
+class TestComments:
+    def test_hash_comment(self):
+        assert values("a # comment\nb") == ["a", "b"]
+
+    def test_double_slash_comment(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+
+class TestPathDots:
+    def test_dot_after_number_is_punct_when_not_decimal(self):
+        # "GeoMD.Store" style paths after numbers must not eat the dot.
+        assert values("1.x") == ["1", ".", "x"]

@@ -1,0 +1,61 @@
+"""Tests for the canonical PRML printer (including full round trips)."""
+
+import pytest
+
+from repro.data import ALL_PAPER_RULES
+from repro.prml import parse_expression, parse_rule, print_expr, print_rule
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(ALL_PAPER_RULES))
+    def test_paper_rules_round_trip(self, name):
+        rule = parse_rule(ALL_PAPER_RULES[name])
+        text = print_rule(rule)
+        assert parse_rule(text) == rule
+
+    def test_print_is_stable(self):
+        rule = parse_rule(ALL_PAPER_RULES["TrainAirportCity"])
+        once = print_rule(rule)
+        assert print_rule(parse_rule(once)) == once
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("1+2*3", "1+2*3"),
+            ("(1+2)*3", "(1+2)*3"),
+            ("1<2 and 3<4", "1<2 and 3<4"),
+            ("not (1<2 or 2<3)", "not (1<2 or 2<3)"),
+            ("Distance(MD.Sales.Store.geometry, MD.Sales.Store.geometry)",
+             "Distance(MD.Sales.Store.geometry, MD.Sales.Store.geometry)"),
+            ("5km", "5km"),
+            ("2.5km", "2.5km"),
+            ("'it''s'", "'it''s'"),
+            ("POINT", "POINT"),
+        ],
+    )
+    def test_canonical_forms(self, source, expected):
+        assert print_expr(parse_expression(source)) == expected
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "1+2*3",
+            "(1+2)*3-4/5",
+            "1<2 and (3<4 or 5<6)",
+            "Distance(Intersection(Intersection(GeoMD.Train.geometry, "
+            "GeoMD.Store.City.geometry), GeoMD.Airport.geometry))<50km",
+            "SUS.DecisionMaker.dm2airportcity.degree+1",
+        ],
+    )
+    def test_expression_round_trip(self, source):
+        expr = parse_expression(source)
+        assert parse_expression(print_expr(expr)) == expr
+
+    def test_minimal_parenthesization(self):
+        # Right-associative grouping must keep explicit parens when needed.
+        expr = parse_expression("1-(2-3)")
+        printed = print_expr(expr)
+        assert parse_expression(printed) == expr
+        assert printed == "1-(2-3)"

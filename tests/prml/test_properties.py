@@ -1,0 +1,199 @@
+"""Property-based tests: PRML parse/print round trips over generated ASTs."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geomd import GeometricType
+from repro.prml import (
+    AddLayerAction,
+    BecomeSpatialAction,
+    BinaryOp,
+    BinaryOperator,
+    ForeachStmt,
+    GeomTypeLit,
+    IfStmt,
+    NotOp,
+    NumberLit,
+    ParameterRef,
+    PathExpr,
+    QuantityLit,
+    Rule,
+    SelectInstanceAction,
+    SessionEndEvent,
+    SessionStartEvent,
+    SetContentAction,
+    SpatialCall,
+    SpatialFunction,
+    SpatialSelectionEvent,
+    StringLit,
+    VarPath,
+    parse_expression,
+    parse_rule,
+    print_expr,
+    print_rule,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+idents = st.from_regex(r"[a-zA-Z_][a-zA-Z_0-9]{0,8}", fullmatch=True).filter(
+    # Exclude keywords, model roots, spatial function and action names, and
+    # geometric type literals — the grammar reserves those spellings.
+    lambda s: s
+    not in {
+        "Rule", "When", "do", "endWhen", "If", "then", "else", "endIf",
+        "Foreach", "in", "endForeach", "and", "or", "not",
+        "SUS", "MD", "GeoMD",
+        "SessionStart", "SessionEnd", "SpatialSelection",
+        "SetContent", "SelectInstance", "BecomeSpatial", "AddLayer",
+        "Intersect", "Disjoint", "Cross", "Inside", "Equals",
+        "Distance", "Intersection",
+        "POINT", "LINE", "POLYGON", "COLLECTION",
+    }
+)
+
+model_paths = st.builds(
+    PathExpr,
+    root=st.sampled_from(["SUS", "MD", "GeoMD"]),
+    steps=st.lists(idents, min_size=1, max_size=4).map(tuple),
+)
+
+numbers = st.builds(
+    NumberLit,
+    st.floats(min_value=0, max_value=1e6, allow_nan=False).map(
+        lambda v: float(round(v, 3))
+    ),
+)
+quantities = st.builds(
+    QuantityLit,
+    st.floats(min_value=0.001, max_value=1e4, allow_nan=False).map(
+        lambda v: float(round(v, 3))
+    ),
+    st.sampled_from(["m", "km", "mi"]),
+)
+strings = st.builds(
+    StringLit, st.text(alphabet="abcDEF '12", min_size=0, max_size=10)
+)
+geom_types = st.builds(GeomTypeLit, st.sampled_from(list(GeometricType)))
+parameters = st.builds(ParameterRef, idents)
+# A bare identifier is context-sensitive (ParameterRef unless Foreach-bound),
+# so generated VarPaths carry at least one step to stay syntactically
+# unambiguous; ParameterRef covers the bare spelling.
+var_paths = st.builds(
+    VarPath, idents, st.lists(idents, min_size=1, max_size=1).map(tuple)
+)
+
+atoms = st.one_of(
+    numbers, quantities, strings, geom_types, parameters, model_paths, var_paths
+)
+
+
+def _exprs(children):
+    geometryish = st.one_of(model_paths, var_paths)
+    return st.one_of(
+        st.builds(
+            BinaryOp,
+            st.sampled_from(list(BinaryOperator)),
+            children,
+            children,
+        ),
+        st.builds(NotOp, children),
+        st.builds(
+            SpatialCall,
+            st.sampled_from(
+                [
+                    SpatialFunction.INTERSECT,
+                    SpatialFunction.DISJOINT,
+                    SpatialFunction.CROSS,
+                    SpatialFunction.INSIDE,
+                    SpatialFunction.EQUALS,
+                    SpatialFunction.INTERSECTION,
+                ]
+            ),
+            st.tuples(geometryish, geometryish),
+        ),
+        st.builds(
+            SpatialCall,
+            st.just(SpatialFunction.DISTANCE),
+            st.one_of(
+                st.tuples(geometryish, geometryish),
+                st.tuples(geometryish),
+            ),
+        ),
+    )
+
+
+expressions = st.recursive(atoms, _exprs, max_leaves=12)
+
+actions = st.one_of(
+    st.builds(SetContentAction, model_paths, expressions),
+    # SelectInstance over a stepped var path keeps the text unambiguous
+    # outside a Foreach scope (see var_paths note above).
+    st.builds(SelectInstanceAction, var_paths),
+    st.builds(BecomeSpatialAction, model_paths, geom_types),
+    st.builds(AddLayerAction, st.builds(StringLit, st.text("abcXYZ 1", min_size=1, max_size=8)), geom_types),
+)
+
+
+@st.composite
+def _foreach(draw, children):
+    n = draw(st.integers(min_value=1, max_value=3))
+    variables = draw(
+        st.lists(idents, min_size=n, max_size=n, unique=True).map(tuple)
+    )
+    sources = draw(st.lists(model_paths, min_size=n, max_size=n).map(tuple))
+    body = draw(st.lists(children, min_size=1, max_size=2).map(tuple))
+    return ForeachStmt(variables=variables, sources=sources, body=body)
+
+
+def _stmts(children):
+    bodies = st.lists(children, min_size=1, max_size=2).map(tuple)
+    return st.one_of(
+        st.builds(
+            IfStmt,
+            expressions,
+            bodies,
+            st.one_of(st.just(()), bodies),
+        ),
+        _foreach(children),
+    )
+
+
+statements = st.recursive(actions, _stmts, max_leaves=6)
+
+events = st.one_of(
+    st.just(SessionStartEvent()),
+    st.just(SessionEndEvent()),
+    st.builds(SpatialSelectionEvent, model_paths, expressions),
+)
+
+rules = st.builds(
+    Rule,
+    name=idents,
+    event=events,
+    body=st.lists(statements, min_size=1, max_size=4).map(tuple),
+)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=200)
+    @given(expressions)
+    def test_expression_round_trip(self, expr):
+        assert parse_expression(print_expr(expr)) == expr
+
+    @settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow])
+    @given(rules)
+    def test_rule_round_trip(self, rule):
+        assert parse_rule(print_rule(rule)) == rule
+
+    @settings(max_examples=75, suppress_health_check=[HealthCheck.too_slow])
+    @given(rules)
+    def test_print_is_fixed_point(self, rule):
+        once = print_rule(rule)
+        assert print_rule(parse_rule(once)) == once

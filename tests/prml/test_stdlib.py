@@ -1,0 +1,157 @@
+"""Tests for the PRML spatial-operator runtime semantics."""
+
+import math
+
+import pytest
+
+from repro.errors import PRMLRuntimeError
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiPoint,
+    PlanarMetric,
+    Point,
+    Polygon,
+)
+from repro.prml import (
+    LineAnchoredCollection,
+    SpatialFunction,
+    prml_distance,
+    prml_intersection,
+    prml_predicate,
+)
+
+LINE = LineString([(0, 0), (100, 0), (100, 100)])
+
+
+class TestOrderDependentIntersection:
+    def test_line_point_gives_sublines(self):
+        result = prml_intersection(LINE, Point(50, 0))
+        assert isinstance(result, LineAnchoredCollection)
+        assert len(result.anchors) == 1
+        sublines = result.sublines
+        assert len(sublines) == 2
+        assert sublines[0].length == pytest.approx(50.0)
+
+    def test_point_line_gives_points(self):
+        result = prml_intersection(Point(50, 0), LINE)
+        assert isinstance(result, MultiPoint)
+        assert len(result) == 1
+
+    def test_point_off_line_empty(self):
+        result = prml_intersection(Point(50, 50), LINE)
+        assert isinstance(result, GeometryCollection)
+        assert result.is_empty
+
+    def test_line_point_off_line_empty_collection(self):
+        result = prml_intersection(LINE, Point(50, 50))
+        assert isinstance(result, LineAnchoredCollection)
+        assert result.is_empty
+
+    def test_snap_tolerance(self):
+        near = Point(50, 0.5)
+        strict = prml_intersection(LINE, near, snap_tolerance=0.1)
+        assert strict.is_empty
+        loose = prml_intersection(LINE, near, snap_tolerance=1.0)
+        assert not loose.is_empty
+
+    def test_chained_intersection_accumulates_anchors(self):
+        first = prml_intersection(LINE, Point(20, 0))
+        second = prml_intersection(first, Point(100, 50))
+        assert isinstance(second, LineAnchoredCollection)
+        assert len(second.anchors) == 2
+
+    def test_chained_with_off_line_point_empties(self):
+        first = prml_intersection(LINE, Point(20, 0))
+        second = prml_intersection(first, Point(500, 500))
+        assert second.is_empty
+
+    def test_anchored_with_non_point_rejected(self):
+        first = prml_intersection(LINE, Point(20, 0))
+        with pytest.raises(PRMLRuntimeError):
+            prml_intersection(first, LINE)
+
+    def test_generic_fallback_is_kernel(self):
+        square = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        clipped = prml_intersection(LineString([(-5, 5), (15, 5)]), square)
+        assert isinstance(clipped, LineString)
+        assert clipped.length == pytest.approx(10.0)
+
+    def test_non_geometry_rejected(self):
+        with pytest.raises(PRMLRuntimeError):
+            prml_intersection("nope", LINE)
+
+
+class TestDistance:
+    def test_binary(self):
+        metric = PlanarMetric()
+        assert prml_distance([Point(0, 0), Point(3, 4)], metric) == 5.0
+
+    def test_unary_arc_along_line(self):
+        metric = PlanarMetric()
+        anchored = prml_intersection(LINE, Point(20, 0))
+        anchored = prml_intersection(anchored, Point(100, 50))
+        # Travel 20 -> corner (80) -> up 50: arc = 130.
+        assert prml_distance([anchored], metric) == pytest.approx(130.0)
+
+    def test_unary_single_anchor_is_infinite(self):
+        metric = PlanarMetric()
+        anchored = prml_intersection(LINE, Point(20, 0))
+        assert prml_distance([anchored], metric) == math.inf
+
+    def test_unary_empty_geometry_is_infinite(self):
+        metric = PlanarMetric()
+        assert prml_distance([GeometryCollection(())], metric) == math.inf
+
+    def test_unary_plain_geometry_rejected(self):
+        metric = PlanarMetric()
+        with pytest.raises(PRMLRuntimeError):
+            prml_distance([Point(0, 0)], metric)
+
+    def test_binary_non_geometry_rejected(self):
+        with pytest.raises(PRMLRuntimeError):
+            prml_distance([Point(0, 0), 5], PlanarMetric())
+
+    def test_wrong_arity(self):
+        with pytest.raises(PRMLRuntimeError):
+            prml_distance([], PlanarMetric())
+
+
+class TestPredicates:
+    SQUARE = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+
+    def test_inside(self):
+        assert prml_predicate(SpatialFunction.INSIDE, Point(5, 5), self.SQUARE)
+        assert not prml_predicate(
+            SpatialFunction.INSIDE, Point(50, 50), self.SQUARE
+        )
+
+    def test_intersect_disjoint_duality(self):
+        a, b = Point(5, 5), self.SQUARE
+        assert prml_predicate(SpatialFunction.INTERSECT, a, b) != prml_predicate(
+            SpatialFunction.DISJOINT, a, b
+        )
+
+    def test_cross(self):
+        line = LineString([(-5, 5), (15, 5)])
+        assert prml_predicate(SpatialFunction.CROSS, line, self.SQUARE)
+
+    def test_equals(self):
+        assert prml_predicate(SpatialFunction.EQUALS, Point(1, 1), Point(1, 1))
+
+    def test_anchored_collection_coerced(self):
+        anchored = prml_intersection(LINE, Point(50, 0))
+        assert prml_predicate(SpatialFunction.INTERSECT, anchored, LINE)
+
+    def test_empty_operand_only_disjoint(self):
+        empty = GeometryCollection(())
+        assert prml_predicate(SpatialFunction.DISJOINT, empty, self.SQUARE)
+        assert not prml_predicate(SpatialFunction.INTERSECT, empty, self.SQUARE)
+
+    def test_non_predicate_rejected(self):
+        with pytest.raises(PRMLRuntimeError):
+            prml_predicate(SpatialFunction.DISTANCE, Point(0, 0), Point(1, 1))
+
+    def test_non_geometry_rejected(self):
+        with pytest.raises(PRMLRuntimeError):
+            prml_predicate(SpatialFunction.INSIDE, "x", self.SQUARE)

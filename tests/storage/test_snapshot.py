@@ -1,0 +1,106 @@
+"""Tests for star-schema JSON snapshots."""
+
+import json
+
+import pytest
+
+from repro.data import (
+    ADD_SPATIALITY,
+    WorldGeoSource,
+    build_motivating_user_model,
+    build_regional_manager_profile,
+)
+from repro.errors import StorageError
+from repro.mdm import Aggregator
+from repro.olap import AggSpec, Cube
+from repro.personalization import PersonalizationEngine
+from repro.storage.snapshot import (
+    load_star,
+    save_star,
+    star_from_dict,
+    star_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_plain_star_round_trip(self, star):
+        rebuilt = star_from_dict(star_to_dict(star))
+        assert rebuilt.stats() == star.stats()
+        # Fact content identical.
+        assert rebuilt.fact_table().measure_column(
+            "UnitSales"
+        ) == star.fact_table().measure_column("UnitSales")
+        assert rebuilt.fact_table().key_column("Store") == star.fact_table(
+            "Sales"
+        ).key_column("Store")
+
+    def test_rollups_survive(self, star):
+        rebuilt = star_from_dict(star_to_dict(star))
+        key = star.fact_table().key_column("Store")[0]
+        assert (
+            rebuilt.rollup_member("Store", key, "State").key
+            == star.rollup_member("Store", key, "State").key
+        )
+
+    def test_personalized_star_round_trip(self, world, star, user_schema):
+        # Personalize first: spatial levels, geometries and the layer.
+        engine = PersonalizationEngine(
+            star, user_schema, geo_source=WorldGeoSource(world)
+        )
+        engine.add_rule(ADD_SPATIALITY)
+        profile = build_regional_manager_profile(user_schema)
+        session = engine.start_session(profile)
+        session.end()
+
+        rebuilt = star_from_dict(star_to_dict(star))
+        schema = rebuilt.schema
+        assert schema.is_spatial_level("Store.Store")
+        assert "Airport" in schema.layers
+        assert len(rebuilt.layer_table("Airport")) == len(world.airports)
+        member = rebuilt.dimension_table("Store").members("Store")[0]
+        assert member.geometry is not None
+
+    def test_queries_agree_after_round_trip(self, star):
+        rebuilt = star_from_dict(star_to_dict(star))
+        original = (
+            Cube(star)
+            .measures(AggSpec(Aggregator.SUM, "StoreSales"))
+            .by("Store.State")
+            .result()
+        )
+        again = (
+            Cube(rebuilt)
+            .measures(AggSpec(Aggregator.SUM, "StoreSales"))
+            .by("Store.State")
+            .result()
+        )
+        assert original.cells == again.cells
+
+    def test_file_round_trip(self, star, tmp_path):
+        path = tmp_path / "star.json"
+        save_star(star, path)
+        # The snapshot is plain JSON.
+        parsed = json.loads(path.read_text())
+        assert parsed["schema"]["name"] == "SalesAnalysis"
+        rebuilt = load_star(path)
+        assert rebuilt.stats() == star.stats()
+
+    def test_snapshot_is_deterministic(self, star, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_star(star, a)
+        save_star(star, b)
+        assert a.read_text() == b.read_text()
+
+
+class TestCorruption:
+    def test_ragged_fact_columns_rejected(self, star):
+        data = star_to_dict(star)
+        data["facts"]["Sales"]["measures"]["UnitSales"].pop()
+        with pytest.raises(StorageError, match="ragged"):
+            star_from_dict(data)
+
+    def test_dangling_parent_rejected(self, star):
+        data = star_to_dict(star)
+        data["dimensions"]["Store"]["Store"][0]["parents"]["City"] = "Atlantis"
+        with pytest.raises(StorageError):
+            star_from_dict(data)

@@ -1,0 +1,178 @@
+"""Tests for the spatial-aware user model (schema + runtime profile)."""
+
+import pytest
+
+from repro.data import build_motivating_user_model
+from repro.errors import UserModelError
+from repro.geometry import Point
+from repro.sus import (
+    SUSStereotype,
+    UserAssociation,
+    UserClass,
+    UserModelSchema,
+    UserProfile,
+)
+from repro.uml.core import STRING
+
+
+class TestSchema:
+    def test_requires_exactly_one_user_class(self):
+        with pytest.raises(UserModelError):
+            UserModelSchema(
+                "M", [UserClass("Role", SUSStereotype.CHARACTERISTIC)]
+            )
+        with pytest.raises(UserModelError):
+            UserModelSchema(
+                "M",
+                [
+                    UserClass("A", SUSStereotype.USER),
+                    UserClass("B", SUSStereotype.USER),
+                ],
+            )
+
+    def test_spatial_selection_gets_degree(self):
+        cls = UserClass("AirportCity", SUSStereotype.SPATIAL_SELECTION)
+        assert cls.properties["degree"].name == "Integer"
+        assert cls.defaults["degree"] == 0
+
+    def test_location_context_gets_geometry(self):
+        cls = UserClass("Location", SUSStereotype.LOCATION_CONTEXT)
+        assert cls.properties["geometry"].name == "Geometry"
+
+    def test_association_validation(self):
+        with pytest.raises(UserModelError):
+            UserModelSchema(
+                "M",
+                [UserClass("U", SUSStereotype.USER)],
+                [UserAssociation("U", "r", "Ghost")],
+            )
+
+    def test_duplicate_role_rejected(self):
+        schema = build_motivating_user_model()
+        with pytest.raises(UserModelError):
+            schema.add_association(
+                UserAssociation("DecisionMaker", "dm2role", "Role")
+            )
+
+    def test_navigate(self):
+        schema = build_motivating_user_model()
+        assert schema.navigate("DecisionMaker", "name") == ("property", "String")
+        assert schema.navigate("DecisionMaker", "dm2role") == (
+            "association",
+            "Role",
+        )
+        with pytest.raises(UserModelError, match="roles"):
+            schema.navigate("DecisionMaker", "bogus")
+
+    def test_to_uml_has_stereotypes(self):
+        model = build_motivating_user_model().to_uml()
+        assert model.cls("DecisionMaker").has_stereotype("User")
+        assert model.cls("AirportCity").has_stereotype("SpatialSelection")
+        assert model.cls("Location").has_stereotype("LocationContext")
+        assert "GeometricTypes" in model.enumerations
+
+    def test_default_for_unknown_property_rejected(self):
+        with pytest.raises(UserModelError):
+            UserClass(
+                "C",
+                SUSStereotype.CHARACTERISTIC,
+                properties={"a": STRING},
+                defaults={"b": 1},
+            )
+
+
+class TestProfilePaths:
+    @pytest.fixture()
+    def profile(self):
+        return UserProfile(build_motivating_user_model(), "u1")
+
+    def test_set_and_get(self, profile):
+        profile.set("DecisionMaker.name", "Ana")
+        assert profile.get("DecisionMaker.name") == "Ana"
+
+    def test_nested_set_auto_creates(self, profile):
+        profile.set("DecisionMaker.dm2role.name", "Manager")
+        assert profile.get("DecisionMaker.dm2role.name") == "Manager"
+
+    def test_get_unset_value_fails(self, profile):
+        with pytest.raises(UserModelError, match="has not been set"):
+            profile.get("DecisionMaker.name")
+
+    def test_degree_defaults_to_zero_on_read(self, profile):
+        assert profile.get("DecisionMaker.dm2airportcity.degree") == 0
+
+    def test_path_must_start_at_user_class(self, profile):
+        with pytest.raises(UserModelError):
+            profile.get("Role.name")
+
+    def test_path_past_property_fails(self, profile):
+        with pytest.raises(UserModelError):
+            profile.set("DecisionMaker.name.extra", "x")
+
+    def test_assign_to_role_fails(self, profile):
+        with pytest.raises(UserModelError):
+            profile.set("DecisionMaker.dm2role", "oops")
+
+    def test_geometry_type_enforced(self, profile):
+        profile.open_session()
+        with pytest.raises(UserModelError):
+            profile.set("DecisionMaker.dm2session.s2location.geometry", "here")
+
+    def test_integer_coercion(self, profile):
+        profile.set("DecisionMaker.dm2airportcity.degree", 2.0)
+        assert profile.get("DecisionMaker.dm2airportcity.degree") == 2
+        with pytest.raises(UserModelError):
+            profile.set("DecisionMaker.dm2airportcity.degree", 2.5)
+
+    def test_has(self, profile):
+        assert not profile.has("DecisionMaker.name")
+        profile.set("DecisionMaker.name", "Ana")
+        assert profile.has("DecisionMaker.name")
+
+
+class TestInterestTracking:
+    @pytest.fixture()
+    def profile(self):
+        return UserProfile(build_motivating_user_model(), "u1")
+
+    def test_increment_degree(self, profile):
+        assert profile.degree("AirportCity") == 0
+        assert profile.increment_degree("AirportCity") == 1
+        assert profile.increment_degree("AirportCity", by=2) == 3
+        assert profile.degree("AirportCity") == 3
+
+    def test_increment_non_selection_class_fails(self, profile):
+        with pytest.raises(UserModelError):
+            profile.increment_degree("Role")
+
+
+class TestSessions:
+    @pytest.fixture()
+    def profile(self):
+        return UserProfile(build_motivating_user_model(), "u1")
+
+    def test_open_with_location(self, profile):
+        profile.open_session(Point(10, 20))
+        assert profile.in_session
+        geometry = profile.get("DecisionMaker.dm2session.s2location.geometry")
+        assert geometry == Point(10, 20)
+
+    def test_close(self, profile):
+        profile.open_session(Point(0, 0))
+        profile.close_session()
+        assert not profile.in_session
+        with pytest.raises(UserModelError):
+            profile.get("DecisionMaker.dm2session.s2location.geometry")
+
+    def test_open_without_location(self, profile):
+        profile.open_session()
+        assert profile.in_session
+
+    def test_snapshot(self, profile):
+        profile.set("DecisionMaker.name", "Ana")
+        profile.open_session(Point(1, 2))
+        snapshot = profile.to_dict()
+        assert snapshot["user_id"] == "u1"
+        assert snapshot["root"]["values"]["name"] == "Ana"
+        location = snapshot["root"]["links"]["dm2session"]["links"]["s2location"]
+        assert location["values"]["geometry"] == "POINT (1 2)"

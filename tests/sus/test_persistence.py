@@ -1,0 +1,77 @@
+"""Tests for user-profile snapshot persistence."""
+
+import json
+
+import pytest
+
+from repro.data import build_motivating_user_model
+from repro.errors import UserModelError
+from repro.geometry import Point
+from repro.sus import UserProfile
+
+
+@pytest.fixture()
+def schema():
+    return build_motivating_user_model()
+
+
+@pytest.fixture()
+def populated(schema):
+    profile = UserProfile(schema, "ana")
+    profile.set("DecisionMaker.name", "Ana Garcia")
+    profile.set("DecisionMaker.dm2role.name", "RegionalSalesManager")
+    profile.open_session(Point(100.0, 200.0))
+    for _ in range(5):
+        profile.increment_degree("AirportCity")
+    return profile
+
+
+class TestRoundTrip:
+    def test_values_survive(self, schema, populated):
+        restored = UserProfile.from_dict(schema, populated.to_dict())
+        assert restored.user_id == "ana"
+        assert restored.get("DecisionMaker.name") == "Ana Garcia"
+        assert (
+            restored.get("DecisionMaker.dm2role.name") == "RegionalSalesManager"
+        )
+        assert restored.degree("AirportCity") == 5
+
+    def test_geometry_survives(self, schema, populated):
+        restored = UserProfile.from_dict(schema, populated.to_dict())
+        location = restored.get("DecisionMaker.dm2session.s2location.geometry")
+        assert location == Point(100.0, 200.0)
+        assert restored.in_session
+
+    def test_json_serializable(self, populated):
+        text = json.dumps(populated.to_dict())
+        assert "RegionalSalesManager" in text
+
+    def test_double_round_trip_stable(self, schema, populated):
+        once = populated.to_dict()
+        twice = UserProfile.from_dict(schema, once).to_dict()
+        assert once == twice
+
+    def test_fresh_profile_round_trip(self, schema):
+        fresh = UserProfile(schema, "new")
+        restored = UserProfile.from_dict(schema, fresh.to_dict())
+        assert restored.degree("AirportCity") == 0
+
+
+class TestCorruption:
+    def test_wrong_class_rejected(self, schema, populated):
+        data = populated.to_dict()
+        data["root"]["class"] = "Impostor"
+        with pytest.raises(UserModelError, match="does not match"):
+            UserProfile.from_dict(schema, data)
+
+    def test_unknown_value_rejected(self, schema, populated):
+        data = populated.to_dict()
+        data["root"]["values"]["shoe_size"] = 42
+        with pytest.raises(UserModelError, match="unknown"):
+            UserProfile.from_dict(schema, data)
+
+    def test_bad_link_rejected(self, schema, populated):
+        data = populated.to_dict()
+        data["root"]["links"]["name"] = {"class": "Role", "values": {}, "links": {}}
+        with pytest.raises(UserModelError, match="association"):
+            UserProfile.from_dict(schema, data)

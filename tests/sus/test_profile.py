@@ -1,0 +1,32 @@
+"""Tests for the SUS profile (Fig. 3 metamodel)."""
+
+from repro.sus import SUSStereotype, sus_metamodel, sus_profile
+
+
+class TestProfile:
+    def test_all_paper_stereotypes_present(self):
+        profile = sus_profile()
+        for name in (
+            "User",
+            "Session",
+            "Characteristic",
+            "LocationContext",
+            "SpatialSelection",
+        ):
+            assert name in profile.stereotypes
+            assert profile.stereotype(name).metaclass == "Class"
+
+    def test_stereotype_enum_matches_profile(self):
+        profile = sus_profile()
+        assert {st.value for st in SUSStereotype} == set(profile.stereotypes)
+
+
+class TestMetamodel:
+    def test_includes_geometric_types(self):
+        model = sus_metamodel()
+        enum = model.enumerations["GeometricTypes"]
+        assert enum.literals == ("POINT", "LINE", "POLYGON", "COLLECTION")
+
+    def test_profile_applied(self):
+        model = sus_metamodel()
+        assert "SUS" in model.profiles

@@ -1,0 +1,68 @@
+"""Tests for session map rendering (the visualization extension)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz import render_session_map, render_world_map
+
+CONDITION = "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km"
+
+
+class TestWorldMap:
+    def test_renders_all_base_features(self, world):
+        svg = render_world_map(world)
+        assert svg.count("<polygon") == len(world.states)
+        # Highways are polylines; cities have labels.
+        assert svg.count("<polyline") >= len(world.highways)
+        assert world.cities[0].name in svg
+
+    def test_deterministic(self, world):
+        assert render_world_map(world) == render_world_map(world)
+
+
+class TestSessionMap:
+    def test_selected_stores_highlighted(self, engine, profile, world):
+        session = engine.start_session(profile, world.cities[0].location)
+        svg = render_session_map(session, world)
+        selected = session.selection.members[("Store", "Store")]
+        # One marker per selected store plus the legend swatch.
+        assert svg.count('fill="#d62728"') == len(selected) + 1
+        # The user marker and 5km zone are drawn.
+        assert 'fill="#ff7f0e"' in svg
+        assert "stroke-dasharray" in svg
+        session.end()
+
+    def test_airport_layer_drawn_after_schema_rule(self, engine, profile, world):
+        session = engine.start_session(profile, world.cities[0].location)
+        svg = render_session_map(session, world)
+        # One marker per airport plus the legend swatch.
+        assert svg.count('fill="#7a43b6"') == len(world.airports) + 1
+        session.end()
+
+    def test_train_layer_appears_after_widening(self, engine, profile, world):
+        session = engine.start_session(profile, world.cities[0].location)
+        before = render_session_map(session, world)
+        assert '#2ca02c' not in before.replace("widened", "")
+        for _ in range(4):
+            session.record_spatial_selection("GeoMD.Store.City", CONDITION)
+        session.rerun_instance_rules()
+        after = render_session_map(session, world)
+        assert 'stroke="#2ca02c"' in after  # train lines + widened cities
+        widened = session.selection.members[("Store", "City")]
+        assert len(widened) > 0
+        session.end()
+
+    def test_closed_session_rejected(self, engine, profile, world):
+        session = engine.start_session(profile, world.cities[0].location)
+        session.end()
+        with pytest.raises(ReproError):
+            render_session_map(session, world)
+
+    def test_svg_well_formed(self, engine, profile, world):
+        import xml.etree.ElementTree as ET
+
+        session = engine.start_session(profile, world.cities[0].location)
+        svg = render_session_map(session, world)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        session.end()

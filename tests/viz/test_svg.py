@@ -1,0 +1,74 @@
+"""Tests for the SVG drawing substrate."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.geometry import Envelope
+from repro.viz import SVGCanvas, Viewport
+
+
+@pytest.fixture()
+def viewport():
+    return Viewport(Envelope(0, 0, 1000, 500), width=800, height=600, margin=20)
+
+
+class TestViewport:
+    def test_aspect_preserved(self, viewport):
+        # 1000x500 world into 760x560 usable: scale limited by width.
+        assert viewport.scale == pytest.approx(760 / 1000)
+
+    def test_world_origin_maps_to_bottom_left(self, viewport):
+        sx, sy = viewport.to_screen(0, 0)
+        assert sx == 20
+        assert sy == 580  # y-up world -> y-down screen
+
+    def test_y_axis_flipped(self, viewport):
+        _sx, sy_low = viewport.to_screen(0, 0)
+        _sx, sy_high = viewport.to_screen(0, 500)
+        assert sy_high < sy_low
+
+    def test_length_scaling(self, viewport):
+        assert viewport.length(1000) == pytest.approx(760)
+
+    def test_margin_validation(self):
+        with pytest.raises(ReproError):
+            Viewport(Envelope(0, 0, 1, 1), width=30, height=600, margin=20)
+
+    def test_degenerate_world_extent(self):
+        vp = Viewport(Envelope(5, 5, 5, 5), width=100, height=100, margin=10)
+        sx, sy = vp.to_screen(5, 5)
+        assert 0 <= sx <= 100 and 0 <= sy <= 100
+
+
+class TestCanvas:
+    def test_document_structure(self, viewport):
+        canvas = SVGCanvas(viewport, title="demo")
+        canvas.circle(0, 0, 4, fill="#ff0000")
+        text = canvas.render()
+        assert text.startswith("<svg")
+        assert text.endswith("</svg>")
+        assert "<title>demo</title>" in text
+        assert '<circle cx="20.0" cy="580.0" r="4" fill="#ff0000"/>' in text
+
+    def test_polyline_points(self, viewport):
+        canvas = SVGCanvas(viewport)
+        canvas.polyline([(0, 0), (1000, 500)], stroke="#000")
+        text = canvas.render()
+        assert "<polyline points=" in text
+        assert 'fill="none"' in text
+
+    def test_attribute_underscore_conversion(self, viewport):
+        canvas = SVGCanvas(viewport)
+        canvas.circle(0, 0, 2, stroke_width=3)
+        assert 'stroke-width="3"' in canvas.render()
+
+    def test_text_escaping(self, viewport):
+        canvas = SVGCanvas(viewport)
+        canvas.text(0, 0, "<'&'>")
+        assert "&lt;" in canvas.render()
+        assert "&amp;" in canvas.render()
+
+    def test_world_circle_radius(self, viewport):
+        canvas = SVGCanvas(viewport)
+        canvas.world_circle(500, 250, 100, fill="none")
+        assert f'r="{viewport.length(100)}"' in canvas.render()

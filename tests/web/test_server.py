@@ -1,0 +1,74 @@
+"""Tests for the stdlib HTTP adapter over a real loopback socket."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.web import PortalApp
+from repro.web.server import make_server
+
+
+@pytest.fixture()
+def http_portal(engine, profile):
+    app = PortalApp(engine)
+    app.register_user(profile)
+    server = make_server(app, "127.0.0.1", 0)  # port 0: pick a free port
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.server_address
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _request(address, method, path, body=None, token=None):
+    host, port = address
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    headers = {"Content-Type": "application/json"}
+    if token:
+        headers["X-Session"] = token
+    payload = json.dumps(body) if body is not None else None
+    connection.request(method, path, body=payload, headers=headers)
+    response = connection.getresponse()
+    data = json.loads(response.read().decode("utf-8"))
+    connection.close()
+    return response.status, data
+
+
+class TestHTTPAdapter:
+    def test_full_flow_over_sockets(self, http_portal, profile, world):
+        location = world.stores[0].location
+        status, login = _request(
+            http_portal,
+            "POST",
+            "/login",
+            {"user": profile.user_id, "location": [location.x, location.y]},
+        )
+        assert status == 200
+        token = login["token"]
+
+        status, view = _request(http_portal, "GET", "/view", token=token)
+        assert status == 200
+        assert view["fact_rows_kept"] < view["fact_rows_total"]
+
+        status, result = _request(
+            http_portal,
+            "POST",
+            "/query",
+            {"q": "SELECT COUNT(*) FROM Sales"},
+            token=token,
+        )
+        assert status == 200
+        assert result["fact_rows_scanned"] == view["fact_rows_kept"]
+
+        status, _out = _request(http_portal, "POST", "/logout", token=token)
+        assert status == 200
+
+    def test_error_status_codes_propagate(self, http_portal):
+        status, body = _request(http_portal, "GET", "/view")
+        assert status == 400
+        assert "error" in body
+        status, _body = _request(http_portal, "GET", "/nowhere")
+        assert status == 404
