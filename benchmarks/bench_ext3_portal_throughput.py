@@ -1,0 +1,94 @@
+"""EXT3 — portal throughput through the in-process /api/v1 dispatch path.
+
+Infrastructure benchmark (not a paper artefact): with the web layer
+rebuilt as a thin route table over the service façade (middleware
+pipeline, session store, DTO serialization), this measures what one
+process can serve.  Three request mixes:
+
+* EXT3a — ``GET /api/v1/view`` (session auth + stats; the cheapest
+  authenticated request, dominated by framework overhead);
+* EXT3b — ``POST /api/v1/query`` (GeoMDQL parse + execute over the
+  personalized selection; the realistic analysis hot path);
+* EXT3c — full session lifecycle (login with rule firing, one view,
+  logout) — what a login storm costs.
+
+Run with::
+
+    pytest benchmarks/bench_ext3_portal_throughput.py --benchmark-only -s
+"""
+
+import time
+
+from repro.web import PortalApp
+
+QUERY = "SELECT SUM(UnitSales) FROM Sales BY Product.Family"
+
+
+def _make_portal(engine, profile):
+    app = PortalApp(engine, datamart_name="sales")
+    app.register_user(profile)
+    return app
+
+
+def _login(app, profile, world):
+    location = world.stores[0].location
+    response = app.handle(
+        "POST",
+        "/api/v1/login",
+        {"user": profile.user_id, "location": [location.x, location.y]},
+    )
+    assert response.ok, response.body
+    return response.json()["token"]
+
+
+def _report(label, app, request, rounds=300):
+    """Requests/sec through Router.dispatch for the EXPERIMENTS series."""
+    started = time.perf_counter()
+    for _ in range(rounds):
+        request()
+    elapsed = time.perf_counter() - started
+    print(f"\n[{label}] {rounds / elapsed:,.0f} req/s in-process ({app.registry.names()})")
+
+
+def test_ext3a_view_throughput(benchmark, engine, profile, world):
+    app = _make_portal(engine, profile)
+    token = _login(app, profile, world)
+
+    def view():
+        response = app.handle("GET", "/api/v1/view", token=token)
+        assert response.ok
+        return response
+
+    benchmark(view)
+    _report("EXT3a view", app, view)
+
+
+def test_ext3b_query_throughput(benchmark, engine, profile, world):
+    app = _make_portal(engine, profile)
+    token = _login(app, profile, world)
+    body = {"q": QUERY, "limit": 10}
+
+    def query():
+        response = app.handle("POST", "/api/v1/query", body, token=token)
+        assert response.ok
+        return response
+
+    benchmark(query)
+    _report("EXT3b query", app, query, rounds=50)
+
+
+def test_ext3c_session_lifecycle_throughput(benchmark, engine, profile, world):
+    app = _make_portal(engine, profile)
+    location = world.stores[0].location
+    login_body = {
+        "user": profile.user_id,
+        "location": [location.x, location.y],
+    }
+
+    def lifecycle():
+        token = app.handle("POST", "/api/v1/login", login_body).json()["token"]
+        assert app.handle("GET", "/api/v1/view", token=token).ok
+        assert app.handle("POST", "/api/v1/logout", token=token).ok
+
+    benchmark(lifecycle)
+    _report("EXT3c lifecycle", app, lifecycle, rounds=20)

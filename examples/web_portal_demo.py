@@ -1,9 +1,10 @@
-"""The web-based personalization loop through the portal API.
+"""The web-based personalization loop through the versioned portal API.
 
-Simulates what a GeWOlap-style web client would do: login (rules fire),
-inspect the personalized schema, run GeoMDQL queries, report spatial
-selections, watch the view widen, log out.  Everything is in-process; to
-serve over a real socket use ``repro.web.server.serve(app)``.
+Simulates what a GeWOlap-style web client would do against ``/api/v1``:
+login on a named datamart (rules fire), inspect the personalized schema,
+run GeoMDQL queries with pagination, report spatial selections, watch
+the view widen, log out.  Everything is in-process; to serve over a real
+socket use ``repro.web.server.serve(app)`` or ``python -m repro serve``.
 
 Run:  python examples/web_portal_demo.py
 """
@@ -38,26 +39,35 @@ def main() -> None:
     )
     engine.add_rules(ALL_PAPER_RULES.values())
 
-    app = PortalApp(engine)
+    app = PortalApp(engine, datamart_name="sales")
     profile = build_regional_manager_profile()
     app.register_user(profile)
+
+    show("GET /api/v1/datamarts", app.handle("GET", "/api/v1/datamarts"))
 
     location = world.stores[0].location
     login = app.handle(
         "POST",
-        "/login",
-        {"user": profile.user_id, "location": [location.x, location.y]},
+        "/api/v1/login",
+        {
+            "user": profile.user_id,
+            "datamart": "sales",
+            "location": [location.x, location.y],
+        },
     )
-    show("POST /login", login)
+    show("POST /api/v1/login", login)
     token = login.json()["token"]
 
-    show("GET /view", app.handle("GET", "/view", token=token))
+    show("GET /api/v1/view", app.handle("GET", "/api/v1/view", token=token))
     show(
-        "POST /query",
+        "POST /api/v1/query (limit=3)",
         app.handle(
             "POST",
-            "/query",
-            {"q": "SELECT SUM(UnitSales) FROM Sales BY Store.City"},
+            "/api/v1/query",
+            {
+                "q": "SELECT SUM(UnitSales) FROM Sales BY Store.City",
+                "limit": 3,
+            },
             token=token,
         ),
     )
@@ -65,7 +75,7 @@ def main() -> None:
     for i in range(4):
         response = app.handle(
             "POST",
-            "/selection",
+            "/api/v1/selection",
             {"target": "GeoMD.Store.City", "condition": CONDITION},
             token=token,
         )
@@ -73,9 +83,27 @@ def main() -> None:
             f"selection #{i + 1}: matched rules = "
             f"{response.json()['matched_rules']}"
         )
-    show("POST /selection/rerun", app.handle("POST", "/selection/rerun", token=token))
-    show("GET /layers/Train", app.handle("GET", "/layers/Train", token=token))
-    show("POST /logout", app.handle("POST", "/logout", token=token))
+    show(
+        "POST /api/v1/selection/rerun",
+        app.handle("POST", "/api/v1/selection/rerun", token=token),
+    )
+    show(
+        "GET /api/v1/layers/Train?limit=2",
+        app.handle(
+            "GET", "/api/v1/layers/Train", token=token, query={"limit": "2"}
+        ),
+    )
+
+    # The seed's unversioned routes still answer through the shim,
+    # flagged with deprecation headers.
+    legacy = app.handle("GET", "/view", token=token)
+    print(
+        f"\nlegacy GET /view [{legacy.status}] "
+        f"Deprecation={legacy.headers.get('Deprecation')} "
+        f"successor={legacy.headers.get('X-Successor')}"
+    )
+
+    show("POST /api/v1/logout", app.handle("POST", "/api/v1/logout", token=token))
 
 
 if __name__ == "__main__":

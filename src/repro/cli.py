@@ -146,13 +146,41 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - network
+    from repro.service import (
+        DatamartRegistry,
+        InMemorySessionStore,
+        PersonalizationService,
+    )
     from repro.web import PortalApp
     from repro.web.server import serve
 
-    world, _star, engine = _build_engine(args.seed, args.threshold)
-    app = PortalApp(engine)
-    app.register_user(build_regional_manager_profile())
-    print(f"serving the portal on http://{args.host}:{args.port} (Ctrl-C stops)")
+    registry = DatamartRegistry()
+    _world, _star, engine = _build_engine(args.seed, args.threshold)
+    primary = registry.register(
+        args.datamart,
+        engine,
+        description=f"sales star (seed {args.seed})",
+        default=True,
+    )
+    primary.register_user(build_regional_manager_profile())
+    # A second tenant on a differently seeded world demonstrates the
+    # multi-datamart routing of POST /api/v1/login {"datamart": ...}.
+    _world2, _star2, engine2 = _build_engine(args.seed + 1, args.threshold)
+    alt = registry.register(
+        f"{args.datamart}-alt",
+        engine2,
+        description=f"sales star (seed {args.seed + 1})",
+    )
+    alt.register_user(build_regional_manager_profile())
+    service = PersonalizationService(
+        registry, session_store=InMemorySessionStore(ttl=args.session_ttl)
+    )
+    app = PortalApp(service=service)
+    print(
+        f"serving /api/v1 on http://{args.host}:{args.port} "
+        f"(datamarts: {', '.join(registry.names())}; "
+        f"session TTL {args.session_ttl:g}s; Ctrl-C stops)"
+    )
     serve(app, args.host, args.port)
     return 0
 
@@ -193,6 +221,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd = sub.add_parser("serve", help="start the web portal")
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=8080)
+    serve_cmd.add_argument(
+        "--datamart",
+        default="sales",
+        help="name of the default datamart tenant (an '-alt' twin on the "
+        "next seed is registered alongside it)",
+    )
+    serve_cmd.add_argument(
+        "--session-ttl",
+        type=float,
+        default=1800.0,
+        help="idle session time-to-live in seconds",
+    )
     serve_cmd.set_defaults(func=cmd_serve)
     return parser
 

@@ -76,3 +76,59 @@ class PersonalizationError(ReproError):
 
 class WebError(ReproError):
     """Portal-simulation level failure (bad route, bad session...)."""
+
+
+class ServiceError(ReproError):
+    """Application-service failure with a uniform wire representation.
+
+    Every instance carries a machine-readable ``code``, an HTTP ``status``
+    and an optional structured ``detail``; :meth:`envelope` renders the
+    canonical ``{"error": {"code", "message", "detail"}}`` body that all
+    ``/api/v1`` error responses share.
+    """
+
+    default_code = "internal"
+    default_status = 500
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str | None = None,
+        status: int | None = None,
+        detail: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code or self.default_code
+        self.status = status or self.default_status
+        self.detail = detail
+
+    def envelope(self) -> dict:
+        return {
+            "error": {
+                "code": self.code,
+                "message": str(self),
+                "detail": self.detail,
+            }
+        }
+
+
+class BadRequestError(ServiceError):
+    """The request is syntactically or semantically invalid (HTTP 400)."""
+
+    default_code = "bad_request"
+    default_status = 400
+
+
+class UnauthorizedError(ServiceError):
+    """Missing, unknown or expired session credentials (HTTP 401)."""
+
+    default_code = "unauthorized"
+    default_status = 401
+
+
+class NotFoundError(ServiceError):
+    """A named resource (user, datamart, layer, route) does not exist."""
+
+    default_code = "not_found"
+    default_status = 404

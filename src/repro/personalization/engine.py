@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.errors import PersonalizationError, PRMLRuntimeError
 from repro.geometry import Metric, PlanarMetric, Point
@@ -194,6 +194,7 @@ class PersonalizationEngine:
         metric: Metric | None = None,
         snap_tolerance: float = 1.0,
         validate_rules: bool = True,
+        session_factory: Callable[..., PersonalizedSession] | None = None,
     ) -> None:
         schema = star.schema
         if not isinstance(schema, GeoMDSchema):
@@ -210,6 +211,17 @@ class PersonalizationEngine:
         self.snap_tolerance = snap_tolerance
         self.validate_rules = validate_rules
         self.rules: list[RegisteredRule] = []
+        #: Hook points for service layers: a custom session class and
+        #: observers fired after SessionStart rules have run (used e.g.
+        #: for per-tenant session accounting without subclassing).
+        self.session_factory = session_factory or PersonalizedSession
+        self._session_hooks: list[Callable[[PersonalizedSession], None]] = []
+
+    def add_session_hook(
+        self, hook: Callable[[PersonalizedSession], None]
+    ) -> None:
+        """Register an observer called with each newly started session."""
+        self._session_hooks.append(hook)
 
     # -- rule repository -----------------------------------------------------
 
@@ -286,7 +298,9 @@ class PersonalizationEngine:
             geo_source=self.geo_source,
             selection=SelectionSet(),
         )
-        session = PersonalizedSession(engine=self, profile=profile, context=context)
+        session = self.session_factory(
+            engine=self, profile=profile, context=context
+        )
         session.outcomes.extend(
             self._run_event(
                 context,
@@ -294,6 +308,8 @@ class PersonalizationEngine:
                 phases=(RulePhase.SCHEMA, RulePhase.INSTANCE),
             )
         )
+        for hook in self._session_hooks:
+            hook(session)
         return session
 
     # -- internal firing ---------------------------------------------------------
@@ -367,5 +383,8 @@ class PersonalizationEngine:
                 continue
             if print_expr(event.condition) != reported_condition:
                 continue
-            outcomes.append(evaluator.execute(registered.rule))
+            # Same ECA-safe path as the other phases: a raising
+            # acquisition rule records an errored outcome instead of
+            # aborting the whole selection report.
+            outcomes.append(self._safe_execute(evaluator, registered))
         return outcomes

@@ -1,0 +1,257 @@
+"""Typed request/response DTOs for the personalization service.
+
+Every ``/api/v1`` endpoint speaks one of these dataclasses instead of a
+bare dict: requests are parsed from untrusted JSON bodies/query strings
+with :meth:`from_body`-style constructors that raise
+:class:`~repro.errors.BadRequestError` on invalid input, and responses
+serialize through ``to_dict`` so the wire shape is defined in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import BadRequestError
+from repro.geometry import Point
+
+__all__ = [
+    "PageRequest",
+    "PageInfo",
+    "LoginRequest",
+    "LoginResult",
+    "LogoutResult",
+    "QueryRequest",
+    "QueryResult",
+    "SelectionRequest",
+    "SelectionResult",
+    "RerunResult",
+    "LayerResult",
+    "DatamartInfo",
+]
+
+
+def _non_negative_int(value: object, name: str) -> int:
+    """Coerce a body/query value (int or numeric string) to an int >= 0."""
+    if isinstance(value, bool):
+        raise BadRequestError(f"{name!r} must be a non-negative integer")
+    try:
+        number = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise BadRequestError(
+            f"{name!r} must be a non-negative integer, got {value!r}"
+        ) from None
+    if number < 0:
+        raise BadRequestError(f"{name!r} must be >= 0, got {number}")
+    return number
+
+
+@dataclass(frozen=True)
+class PageRequest:
+    """``limit``/``offset`` pagination window (limit ``None`` = no cap)."""
+
+    limit: int | None = None
+    offset: int = 0
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, object]) -> "PageRequest":
+        limit_raw = data.get("limit")
+        offset_raw = data.get("offset")
+        limit = None if limit_raw is None else _non_negative_int(limit_raw, "limit")
+        offset = 0 if offset_raw is None else _non_negative_int(offset_raw, "offset")
+        return cls(limit=limit, offset=offset)
+
+    def apply(self, items: Sequence) -> tuple[list, "PageInfo"]:
+        """Slice ``items`` to this window and describe the result."""
+        total = len(items)
+        stop = total if self.limit is None else self.offset + self.limit
+        window = list(items[self.offset : stop])
+        return window, PageInfo(
+            total=total,
+            offset=self.offset,
+            limit=self.limit,
+            returned=len(window),
+        )
+
+
+@dataclass(frozen=True)
+class PageInfo:
+    """What :meth:`PageRequest.apply` actually returned."""
+
+    total: int
+    offset: int
+    limit: int | None
+    returned: int
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "offset": self.offset,
+            "limit": self.limit,
+            "returned": self.returned,
+        }
+
+
+@dataclass(frozen=True)
+class LoginRequest:
+    user: str
+    datamart: str | None = None
+    location: Point | None = None
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, object]) -> "LoginRequest":
+        user = body.get("user")
+        if not user or not isinstance(user, str):
+            raise BadRequestError("login requires a 'user' field")
+        datamart = body.get("datamart")
+        if datamart is not None and not isinstance(datamart, str):
+            raise BadRequestError("'datamart' must be a string")
+        location = None
+        raw_location = body.get("location")
+        if raw_location is not None:
+            if (
+                not isinstance(raw_location, (list, tuple))
+                or len(raw_location) != 2
+            ):
+                raise BadRequestError("'location' must be [x, y]")
+            try:
+                location = Point(float(raw_location[0]), float(raw_location[1]))
+            except (TypeError, ValueError):
+                raise BadRequestError(
+                    "'location' coordinates must be numbers"
+                ) from None
+        return cls(user=user, datamart=datamart, location=location)
+
+
+@dataclass(frozen=True)
+class LoginResult:
+    token: str
+    user: str
+    datamart: str
+    rules_fired: list[str]
+    view: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "token": self.token,
+            "user": self.user,
+            "datamart": self.datamart,
+            "rules_fired": list(self.rules_fired),
+            "view": dict(self.view),
+        }
+
+
+@dataclass(frozen=True)
+class LogoutResult:
+    ended: bool
+    rules_fired: list[str]
+
+    def to_dict(self) -> dict:
+        return {"ended": self.ended, "rules_fired": list(self.rules_fired)}
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    q: str
+    page: PageRequest = field(default_factory=PageRequest)
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, object]) -> "QueryRequest":
+        text = body.get("q")
+        if not text or not isinstance(text, str):
+            raise BadRequestError("query requires a 'q' field")
+        return cls(q=text, page=PageRequest.from_mapping(body))
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    axes: list[str]
+    labels: list
+    rows: list[list]
+    fact_rows_scanned: int
+    fact_rows_matched: int
+    page: PageInfo
+
+    def to_dict(self) -> dict:
+        return {
+            "axes": list(self.axes),
+            "labels": list(self.labels),
+            "rows": [list(row) for row in self.rows],
+            "fact_rows_scanned": self.fact_rows_scanned,
+            "fact_rows_matched": self.fact_rows_matched,
+            "page": self.page.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class SelectionRequest:
+    target: str
+    condition: str
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, object]) -> "SelectionRequest":
+        target = body.get("target")
+        condition = body.get("condition")
+        if not target or not condition:
+            raise BadRequestError("selection requires 'target' and 'condition'")
+        if not isinstance(target, str) or not isinstance(condition, str):
+            raise BadRequestError("'target' and 'condition' must be strings")
+        return cls(target=target, condition=condition)
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    matched_rules: list[str]
+    profile: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "matched_rules": list(self.matched_rules),
+            "profile": dict(self.profile),
+        }
+
+
+@dataclass(frozen=True)
+class RerunResult:
+    rules_fired: list[str]
+    view: dict
+
+    def to_dict(self) -> dict:
+        return {"rules_fired": list(self.rules_fired), "view": dict(self.view)}
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    layer: str
+    geometric_type: str
+    features: list[dict]
+    page: PageInfo
+
+    def to_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "geometric_type": self.geometric_type,
+            "features": list(self.features),
+            "page": self.page.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class DatamartInfo:
+    name: str
+    description: str
+    default: bool
+    users: int
+    rules: int
+    sessions_started: int
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "default": self.default,
+            "users": self.users,
+            "rules": self.rules,
+            "sessions_started": self.sessions_started,
+        }

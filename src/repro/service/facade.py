@@ -1,0 +1,262 @@
+"""The :class:`PersonalizationService` façade — the portal's application
+logic as a transport-independent, versioned service layer.
+
+Any front end (the stdlib HTTP adapter, the in-process test driver, a
+future async adapter) talks to this one class with typed DTOs and gets
+either a typed result or a :class:`~repro.errors.ServiceError` carrying
+the uniform error envelope.  The service owns:
+
+* tenant resolution through a :class:`~repro.service.registry.DatamartRegistry`
+  (login's ``datamart`` field picks the star/engine);
+* authentication through a pluggable
+  :class:`~repro.service.sessions.SessionStore` (TTL, eviction,
+  thread-safety);
+* the analysis operations themselves (profile, schema, view, GeoMDQL
+  query, spatial-selection events, instance-rule rerun, layer export)
+  with ``limit``/``offset`` pagination on list-shaped results.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import BadRequestError, PRMLError, QueryError, UnauthorizedError
+from repro.olap.gmdql import parse_query
+from repro.olap.query import execute
+from repro.personalization.engine import PersonalizationEngine, PersonalizedSession
+from repro.service.dtos import (
+    DatamartInfo,
+    LayerResult,
+    LoginRequest,
+    LoginResult,
+    LogoutResult,
+    PageRequest,
+    QueryRequest,
+    QueryResult,
+    RerunResult,
+    SelectionRequest,
+    SelectionResult,
+)
+from repro.service.registry import Datamart, DatamartRegistry
+from repro.service.sessions import InMemorySessionStore, SessionRecord, SessionStore
+
+__all__ = ["PersonalizationService"]
+
+
+class PersonalizationService:
+    """Versioned application façade over registry + session store."""
+
+    def __init__(
+        self,
+        registry: DatamartRegistry,
+        session_store: SessionStore | None = None,
+    ) -> None:
+        self.registry = registry
+        # `is not None` matters: an empty store has __len__ == 0 and is falsy.
+        self.sessions = (
+            session_store if session_store is not None else InMemorySessionStore()
+        )
+        self._sessions_started: dict[str, int] = {}
+        self._hooked_engines: set[int] = set()
+        #: Guards hook registration and the per-tenant counters; engines
+        #: themselves are not thread-safe, so logins are serialized per
+        #: engine and same-token requests per session record.
+        self._lock = threading.Lock()
+        self._engine_locks: dict[int, threading.Lock] = {}
+
+    # -- session lifecycle --------------------------------------------------------
+
+    def login(self, request: LoginRequest) -> LoginResult:
+        """Open a personalized session on the requested datamart."""
+        datamart = self.registry.get(request.datamart)
+        profile = datamart.profile(request.user)
+        self._ensure_hooked(datamart)
+        with self._engine_lock(datamart.engine):
+            session = datamart.engine.start_session(
+                profile, location=request.location
+            )
+        record = self.sessions.put(
+            session, datamart=datamart.name, user_id=request.user
+        )
+        return LoginResult(
+            token=record.token,
+            user=request.user,
+            datamart=datamart.name,
+            rules_fired=[o.rule_name for o in session.outcomes],
+            view=session.view().stats(),
+        )
+
+    def logout(self, token: str | None) -> LogoutResult:
+        record = self._record(token)
+        with record.lock:
+            outcomes = record.session.end()
+            self.sessions.remove(record.token)
+        return LogoutResult(
+            ended=True, rules_fired=[o.rule_name for o in outcomes]
+        )
+
+    # -- analysis operations ------------------------------------------------------
+
+    def profile(self, token: str | None) -> dict:
+        record = self._record(token)
+        with record.lock:
+            return record.session.profile.to_dict()
+
+    def schema(self, token: str | None) -> dict:
+        record = self._record(token)
+        with record.lock:
+            return record.session.view().schema.to_dict()
+
+    def view_stats(self, token: str | None) -> dict:
+        record = self._record(token)
+        with record.lock:
+            return record.session.view().stats()
+
+    def query(self, token: str | None, request: QueryRequest) -> QueryResult:
+        record = self._record(token)
+        with record.lock:
+            session = record.session
+            view = session.view()
+            try:
+                query = parse_query(request.q, view.schema)
+            except QueryError as exc:
+                raise BadRequestError(
+                    str(exc), code="query_error", detail={"q": request.q}
+                ) from exc
+            selection = view.fact_rows if view.is_restricted else None
+            cell_set = execute(
+                view.star, query, selection, session.engine.metric
+            )
+        all_rows = [list(row) for row in cell_set.to_rows()]
+        rows, page = request.page.apply(all_rows)
+        return QueryResult(
+            axes=[str(a) for a in cell_set.axes],
+            labels=list(cell_set.labels),
+            rows=rows,
+            fact_rows_scanned=cell_set.fact_rows_scanned,
+            fact_rows_matched=cell_set.fact_rows_matched,
+            page=page,
+        )
+
+    def record_selection(
+        self, token: str | None, request: SelectionRequest
+    ) -> SelectionResult:
+        record = self._record(token)
+        with record.lock:
+            try:
+                outcomes = record.session.record_spatial_selection(
+                    request.target, request.condition
+                )
+            except PRMLError as exc:
+                raise BadRequestError(
+                    str(exc),
+                    code="bad_selection",
+                    detail={
+                        "target": request.target,
+                        "condition": request.condition,
+                    },
+                ) from exc
+            return SelectionResult(
+                matched_rules=[o.rule_name for o in outcomes],
+                profile=record.session.profile.to_dict(),
+            )
+
+    def rerun_instance_rules(self, token: str | None) -> RerunResult:
+        record = self._record(token)
+        with record.lock:
+            outcomes = record.session.rerun_instance_rules()
+            return RerunResult(
+                rules_fired=[o.rule_name for o in outcomes],
+                view=record.session.view().stats(),
+            )
+
+    def layer(
+        self, token: str | None, name: str, page: PageRequest | None = None
+    ) -> LayerResult:
+        record = self._record(token)
+        with record.lock:
+            session = record.session
+            schema = session.view().schema
+            if name not in schema.layers:
+                from repro.errors import NotFoundError
+
+                raise NotFoundError(
+                    f"no layer {name!r} in the personalized schema",
+                    code="unknown_layer",
+                    detail={"available": sorted(schema.layers)},
+                )
+            table = session.engine.star.layer_table(name)
+            features, page_info = (page or PageRequest()).apply(
+                list(table.features())
+            )
+        return LayerResult(
+            layer=name,
+            geometric_type=schema.layers[name].geometric_type.name,
+            features=[
+                {
+                    "name": f.name,
+                    "wkt": f.geometry.wkt,
+                    "attributes": f.attributes,
+                }
+                for f in features
+            ],
+            page=page_info,
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    def datamarts(self) -> list[DatamartInfo]:
+        """Describe every tenant this service hosts."""
+        return [
+            DatamartInfo(
+                name=dm.name,
+                description=dm.description,
+                default=dm.name == self.registry.default_name,
+                users=len(dm.profiles),
+                rules=len(dm.engine.rules),
+                sessions_started=self._sessions_started.get(dm.name, 0),
+            )
+            for dm in sorted(self.registry, key=lambda d: d.name)
+        ]
+
+    def sessions_started(self, datamart: str) -> int:
+        return self._sessions_started.get(datamart, 0)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _record(self, token: str | None) -> SessionRecord:
+        if token is None:
+            raise UnauthorizedError(
+                "missing session token; POST /api/v1/login first",
+                code="missing_token",
+            )
+        record = self.sessions.get(token)
+        session = record.session
+        if isinstance(session, PersonalizedSession) and session.closed:
+            self.sessions.remove(record.token)
+            raise UnauthorizedError(
+                "session already ended", code="invalid_session"
+            )
+        return record
+
+    def _engine_lock(self, engine: PersonalizationEngine) -> threading.Lock:
+        """One lock per engine: start_session mutates shared engine state."""
+        with self._lock:
+            return self._engine_locks.setdefault(id(engine), threading.Lock())
+
+    def _ensure_hooked(self, datamart: Datamart) -> None:
+        """Attach a session-start hook to count sessions per tenant."""
+        engine: PersonalizationEngine = datamart.engine
+        name = datamart.name
+
+        def _count(_session: PersonalizedSession) -> None:
+            with self._lock:
+                self._sessions_started[name] = (
+                    self._sessions_started.get(name, 0) + 1
+                )
+
+        with self._lock:
+            if id(engine) in self._hooked_engines:
+                return
+            engine.add_session_hook(_count)
+            self._hooked_engines.add(id(engine))

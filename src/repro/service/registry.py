@@ -1,0 +1,106 @@
+"""Multi-datamart tenancy: named stars/engines behind one service.
+
+The seed portal was welded to exactly one
+:class:`~repro.personalization.engine.PersonalizationEngine` over exactly
+one star.  A :class:`DatamartRegistry` hosts many named datamarts — each
+an engine plus the user profiles allowed to open sessions on it — so a
+single service deployment can serve several analysis scenarios and login
+picks the tenant (``{"datamart": "sales-eu"}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BadRequestError, NotFoundError
+from repro.personalization.engine import PersonalizationEngine
+from repro.sus.model import UserProfile
+
+__all__ = ["Datamart", "DatamartRegistry"]
+
+
+@dataclass
+class Datamart:
+    """One tenant: a personalization engine plus its known users."""
+
+    name: str
+    engine: PersonalizationEngine
+    description: str = ""
+    profiles: dict[str, UserProfile] = field(default_factory=dict)
+
+    def register_user(self, profile: UserProfile) -> None:
+        """Make a profile known to this datamart (the paper gathers user
+        data from requirements before runtime)."""
+        self.profiles[profile.user_id] = profile
+
+    def profile(self, user_id: str) -> UserProfile:
+        profile = self.profiles.get(user_id)
+        if profile is None:
+            raise NotFoundError(
+                f"unknown user {user_id!r} in datamart {self.name!r}",
+                code="unknown_user",
+            )
+        return profile
+
+
+class DatamartRegistry:
+    """Name -> :class:`Datamart` with a designated default tenant."""
+
+    def __init__(self) -> None:
+        self._datamarts: dict[str, Datamart] = {}
+        self._default: str | None = None
+
+    def register(
+        self,
+        name: str,
+        engine: PersonalizationEngine,
+        *,
+        description: str = "",
+        default: bool = False,
+    ) -> Datamart:
+        """Add a datamart; the first registered one becomes the default
+        unless a later registration claims ``default=True``."""
+        if not name:
+            raise BadRequestError("datamart name must be non-empty")
+        if name in self._datamarts:
+            raise BadRequestError(
+                f"duplicate datamart {name!r}", code="duplicate_datamart"
+            )
+        datamart = Datamart(name=name, engine=engine, description=description)
+        self._datamarts[name] = datamart
+        if default or self._default is None:
+            self._default = name
+        return datamart
+
+    def get(self, name: str | None = None) -> Datamart:
+        """Resolve a datamart by name (``None`` -> the default tenant)."""
+        if name is None:
+            if self._default is None:
+                raise NotFoundError(
+                    "no datamarts registered", code="unknown_datamart"
+                )
+            return self._datamarts[self._default]
+        datamart = self._datamarts.get(name)
+        if datamart is None:
+            raise NotFoundError(
+                f"unknown datamart {name!r} (available: "
+                f"{sorted(self._datamarts) or 'none'})",
+                code="unknown_datamart",
+            )
+        return datamart
+
+    @property
+    def default_name(self) -> str | None:
+        return self._default
+
+    def names(self) -> list[str]:
+        return sorted(self._datamarts)
+
+    def __len__(self) -> int:
+        return len(self._datamarts)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._datamarts
+
+    def __iter__(self):
+        return iter(self._datamarts.values())

@@ -1,0 +1,200 @@
+"""Pluggable session storage for the personalization service.
+
+The portal used to keep ``{token: session}`` in a bare dict: tokens never
+expired, memory grew without bound, and concurrent requests from the
+threaded stdlib adapter raced on the dict.  :class:`SessionStore` is the
+abstraction the service programs against; :class:`InMemorySessionStore`
+is the production-shaped default — opaque random tokens, idle-TTL expiry,
+LRU eviction at ``max_sessions``, and a lock around every mutation.
+
+Expired or evicted analysis sessions are *ended* (SessionEnd rules fire,
+the profile session closes) on a best-effort basis, mirroring what an
+explicit logout would have done.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import UnauthorizedError
+
+__all__ = ["SessionRecord", "SessionStore", "InMemorySessionStore"]
+
+
+@dataclass
+class SessionRecord:
+    """One live analysis session plus its service-level bookkeeping.
+
+    ``lock`` serializes operations *within* one session: the engine's
+    session/profile objects are not thread-safe, so concurrent requests
+    carrying the same token take this lock in the service layer.
+    """
+
+    token: str
+    session: object  # PersonalizedSession (duck-typed: .end(), .closed)
+    datamart: str
+    user_id: str
+    created_at: float
+    last_access: float
+    meta: dict = field(default_factory=dict)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class SessionStore(ABC):
+    """Token -> session mapping with an authentication contract.
+
+    ``get`` raises :class:`~repro.errors.UnauthorizedError` (code
+    ``invalid_session`` or ``session_expired``) instead of returning a
+    sentinel, so every caller produces the same structured 401.
+    """
+
+    @abstractmethod
+    def put(self, session: object, *, datamart: str, user_id: str) -> SessionRecord:
+        """Admit a session, returning its record (with a fresh token)."""
+
+    @abstractmethod
+    def get(self, token: str) -> SessionRecord:
+        """Resolve a token, refreshing its idle clock."""
+
+    @abstractmethod
+    def remove(self, token: str) -> None:
+        """Forget a token (no-op if absent); does not end the session."""
+
+    @abstractmethod
+    def purge_expired(self) -> int:
+        """Drop (and end) every expired session, returning how many."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[SessionRecord]: ...
+
+
+def _default_token_factory() -> str:
+    return f"tok-{secrets.token_urlsafe(12)}"
+
+
+def _end_quietly(record: SessionRecord) -> None:
+    """End an evicted/expired session as logout would, swallowing errors."""
+    session = record.session
+    try:
+        if not getattr(session, "closed", True):
+            session.end()
+    except Exception:  # noqa: BLE001 - reclamation must not fail the request
+        pass
+
+
+class InMemorySessionStore(SessionStore):
+    """Thread-safe in-process store with idle TTL and LRU eviction.
+
+    ``clock`` and ``token_factory`` are injectable for deterministic
+    tests; the defaults are ``time.monotonic`` and a ``secrets``-based
+    opaque token.
+    """
+
+    def __init__(
+        self,
+        ttl: float = 1800.0,
+        max_sessions: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+        token_factory: Callable[[], str] | None = None,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.ttl = ttl
+        self.max_sessions = max_sessions
+        self._clock = clock
+        self._token_factory = token_factory or _default_token_factory
+        self._lock = threading.Lock()
+        #: token -> record, ordered oldest-access-first (LRU discipline).
+        self._records: OrderedDict[str, SessionRecord] = OrderedDict()
+
+    # -- SessionStore API ---------------------------------------------------------
+
+    def put(self, session: object, *, datamart: str, user_id: str) -> SessionRecord:
+        now = self._clock()
+        ended: list[SessionRecord] = []
+        with self._lock:
+            ended.extend(self._purge_expired_locked(now))
+            while len(self._records) >= self.max_sessions:
+                _token, evicted = self._records.popitem(last=False)
+                ended.append(evicted)
+            token = self._token_factory()
+            while token in self._records:  # collision paranoia
+                token = self._token_factory()
+            record = SessionRecord(
+                token=token,
+                session=session,
+                datamart=datamart,
+                user_id=user_id,
+                created_at=now,
+                last_access=now,
+            )
+            self._records[token] = record
+        for stale in ended:
+            _end_quietly(stale)
+        return record
+
+    def get(self, token: str) -> SessionRecord:
+        now = self._clock()
+        with self._lock:
+            record = self._records.get(token)
+            if record is None:
+                raise UnauthorizedError(
+                    "unknown or logged-out session token",
+                    code="invalid_session",
+                )
+            if now - record.last_access > self.ttl:
+                del self._records[token]
+                expired: SessionRecord | None = record
+            else:
+                record.last_access = now
+                self._records.move_to_end(token)
+                expired = None
+        if expired is not None:
+            _end_quietly(expired)
+            raise UnauthorizedError(
+                "session expired; POST /api/v1/login again",
+                code="session_expired",
+                detail={"ttl": self.ttl},
+            )
+        return record
+
+    def remove(self, token: str) -> None:
+        with self._lock:
+            self._records.pop(token, None)
+
+    def purge_expired(self) -> int:
+        now = self._clock()
+        with self._lock:
+            ended = self._purge_expired_locked(now)
+        for record in ended:
+            _end_quietly(record)
+        return len(ended)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[SessionRecord]:
+        with self._lock:
+            return iter(list(self._records.values()))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _purge_expired_locked(self, now: float) -> list[SessionRecord]:
+        stale = [
+            token
+            for token, record in self._records.items()
+            if now - record.last_access > self.ttl
+        ]
+        return [self._records.pop(token) for token in stale]

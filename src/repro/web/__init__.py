@@ -1,19 +1,38 @@
 """Web portal simulation: the "web-based" half of the paper's title.
 
-A dependency-free request/response framework plus a GeWOlap-style portal
-app over the personalization engine (login → personalized view → GeoMDQL
+A dependency-free request/response framework with middleware, plus a
+GeWOlap-style portal app exposing the personalization service as a
+versioned ``/api/v1`` REST surface (login → personalized view → GeoMDQL
 queries → spatial-selection events → logout), with an optional stdlib
-HTTP adapter for interactive use.
+HTTP adapter for interactive use.  Application logic, session storage
+and multi-datamart tenancy live in :mod:`repro.service`.
 """
 
-from repro.web.http import Request, Response, Router, json_response, parse_json_body
-from repro.web.portal import PortalApp
+from repro.web.http import (
+    Middleware,
+    Request,
+    Response,
+    Router,
+    error_envelope_middleware,
+    error_response,
+    json_response,
+    parse_json_body,
+    request_logging_middleware,
+    session_token_middleware,
+)
+from repro.web.portal import API_PREFIX, PortalApp
 
 __all__ = [
+    "API_PREFIX",
+    "Middleware",
     "PortalApp",
     "Request",
     "Response",
     "Router",
+    "error_envelope_middleware",
+    "error_response",
     "json_response",
     "parse_json_body",
+    "request_logging_middleware",
+    "session_token_middleware",
 ]

@@ -1,4 +1,4 @@
-"""Request/response primitives and routing for the portal simulation.
+"""Request/response primitives, routing and middleware for the portal.
 
 A dependency-free, WSGI-flavoured micro-framework: enough for the portal
 (:mod:`repro.web.portal`) to behave like the web SOLAP clients the paper
@@ -6,18 +6,61 @@ targets (GeWOlap-style), while keeping everything in-process and
 deterministic — the environment is offline, so no sockets are used in
 tests or examples (an optional stdlib server adapter is provided in
 :mod:`repro.web.server`).
+
+On top of the seed's :class:`Router`, this module provides a small
+middleware pipeline (``Callable[[Request, Handler], Response]``) and the
+uniform error envelope of the ``/api/v1`` surface::
+
+    {"error": {"code": ..., "message": ..., "detail": ...}}
+
+Built-in middlewares:
+
+* :func:`error_envelope_middleware` — translates :class:`ServiceError`
+  (and stray exceptions) into enveloped responses, innermost so the
+  other middlewares observe the final status;
+* :func:`session_token_middleware` — resolves the session token from the
+  ``X-Session`` header or an ``Authorization: Bearer`` credential into
+  ``request.context["token"]``;
+* :func:`request_logging_middleware` — method/path/status/duration lines
+  on a standard :mod:`logging` logger.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import WebError
+from repro.errors import ServiceError, WebError
 
-__all__ = ["Request", "Response", "Router", "json_response", "parse_json_body"]
+__all__ = [
+    "Request",
+    "Response",
+    "Router",
+    "Handler",
+    "Middleware",
+    "json_response",
+    "error_response",
+    "parse_json_body",
+    "error_envelope_middleware",
+    "session_token_middleware",
+    "request_logging_middleware",
+]
+
+
+def _header(headers: dict[str, str], name: str) -> str | None:
+    """Case-insensitive header lookup (HTTP header names are)."""
+    value = headers.get(name)
+    if value is not None:
+        return value
+    lowered = name.lower()
+    for key, value in headers.items():
+        if key.lower() == lowered:
+            return value
+    return None
 
 
 @dataclass
@@ -30,11 +73,16 @@ class Request:
     headers: dict[str, str] = field(default_factory=dict)
     params: dict[str, str] = field(default_factory=dict)  # path parameters
     query: dict[str, str] = field(default_factory=dict)
+    context: dict = field(default_factory=dict)  # middleware scratch space
 
     @property
     def session_token(self) -> str | None:
-        """Session token from the ``X-Session`` header (cookie stand-in)."""
-        return self.headers.get("X-Session")
+        """Session token resolved by middleware, falling back to the raw
+        ``X-Session`` header (cookie stand-in)."""
+        token = self.context.get("token")
+        if token is not None:
+            return token
+        return _header(self.headers, "X-Session")
 
 
 @dataclass
@@ -60,16 +108,89 @@ def json_response(body: dict, status: int = 200) -> Response:
     return Response(status=status, body=body)
 
 
+def error_response(
+    code: str, message: str, status: int, detail: object = None
+) -> Response:
+    """The uniform error envelope shared by every failure response."""
+    return Response(
+        status=status,
+        body={"error": {"code": code, "message": message, "detail": detail}},
+    )
+
+
 _PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z_0-9]*)\}")
 
 Handler = Callable[[Request], Response]
+Middleware = Callable[[Request, Handler], Response]
+
+
+def error_envelope_middleware(request: Request, handler: Handler) -> Response:
+    """Translate exceptions into the uniform error envelope.
+
+    :class:`ServiceError` carries its own code/status/detail;
+    :class:`WebError` stays a plain 400 (legacy portal validation); any
+    other exception becomes an opaque 500.
+    """
+    try:
+        return handler(request)
+    except ServiceError as exc:
+        return json_response(exc.envelope(), status=exc.status)
+    except WebError as exc:
+        return error_response("bad_request", str(exc), 400)
+    except Exception as exc:  # noqa: BLE001 - surface as 500
+        return error_response("internal", f"{type(exc).__name__}: {exc}", 500)
+
+
+def session_token_middleware(request: Request, handler: Handler) -> Response:
+    """Resolve the session credential into ``request.context['token']``."""
+    token = _header(request.headers, "X-Session")
+    if token is None:
+        authorization = _header(request.headers, "Authorization") or ""
+        if authorization.startswith("Bearer "):
+            token = authorization[len("Bearer ") :].strip() or None
+    if token is not None:
+        request.context["token"] = token
+    return handler(request)
+
+
+def request_logging_middleware(
+    logger: logging.Logger | None = None,
+) -> Middleware:
+    """Build a middleware logging one line per request."""
+    log = logger or logging.getLogger("repro.web")
+
+    def middleware(request: Request, handler: Handler) -> Response:
+        started = time.perf_counter()
+        response = handler(request)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        log.info(
+            "%s %s -> %d (%.2f ms)",
+            request.method.upper(),
+            request.path,
+            response.status,
+            elapsed_ms,
+        )
+        return response
+
+    return middleware
 
 
 class Router:
-    """Method+path routing with ``{param}`` captures."""
+    """Method+path routing with ``{param}`` captures and middleware.
 
-    def __init__(self) -> None:
+    Middlewares wrap every dispatched handler, first-added outermost;
+    :func:`error_envelope_middleware` is always applied innermost so
+    handler failures reach the other middlewares as enveloped responses,
+    and a final safety net around the whole chain keeps middleware bugs
+    from escaping as raw exceptions.
+    """
+
+    def __init__(self, middlewares: list[Middleware] | None = None) -> None:
         self._routes: list[tuple[str, re.Pattern[str], Handler]] = []
+        self._middlewares: list[Middleware] = list(middlewares or [])
+
+    def add_middleware(self, middleware: Middleware) -> None:
+        self._middlewares.append(middleware)
 
     def add(self, method: str, pattern: str, handler: Handler) -> None:
         if not pattern.startswith("/"):
@@ -83,8 +204,8 @@ class Router:
     def post(self, pattern: str, handler: Handler) -> None:
         self.add("POST", pattern, handler)
 
-    def dispatch(self, request: Request) -> Response:
-        """Route a request; 404/405 are returned, handler errors become 500."""
+    def _resolve(self, request: Request) -> Handler:
+        """Find the handler (binding path params), or a raising fallback."""
         path_matched = False
         for method, regex, handler in self._routes:
             match = regex.match(request.path)
@@ -94,17 +215,45 @@ class Router:
             if method != request.method.upper():
                 continue
             request.params = match.groupdict()
-            try:
-                return handler(request)
-            except WebError as exc:
-                return json_response({"error": str(exc)}, status=400)
-            except Exception as exc:  # noqa: BLE001 - surface as 500
-                return json_response(
-                    {"error": f"{type(exc).__name__}: {exc}"}, status=500
-                )
+            return handler
         if path_matched:
-            return json_response({"error": "method not allowed"}, status=405)
-        return json_response({"error": f"no route for {request.path}"}, status=404)
+            def method_not_allowed(req: Request) -> Response:
+                raise ServiceError(
+                    f"method {req.method.upper()} not allowed for {req.path}",
+                    code="method_not_allowed",
+                    status=405,
+                )
+
+            return method_not_allowed
+
+        def not_found(req: Request) -> Response:
+            raise ServiceError(
+                f"no route for {req.path}", code="not_found", status=404
+            )
+
+        return not_found
+
+    def dispatch(self, request: Request) -> Response:
+        """Route a request through the middleware chain.
+
+        404/405 are raised by fallback handlers so middleware (logging,
+        auth) observes them like any other outcome.
+        """
+        chain: Handler = self._resolve(request)
+        for middleware in reversed(
+            [*self._middlewares, error_envelope_middleware]
+        ):
+            chain = _bind(middleware, chain)
+        # Safety net: a buggy middleware above the envelope layer must
+        # still produce an enveloped response, not a raw exception.
+        return error_envelope_middleware(request, chain)
+
+
+def _bind(middleware: Middleware, inner: Handler) -> Handler:
+    def bound(request: Request) -> Response:
+        return middleware(request, inner)
+
+    return bound
 
 
 def parse_json_body(raw: bytes | str) -> dict:

@@ -1,60 +1,125 @@
 """The web analysis portal: "web-based personalization" made concrete.
 
-A GeWOlap-style web front end over the personalization engine.  Decision
-makers log in (SessionStart rules fire and build their personalized
-view), run GeoMDQL-lite queries against that view, report spatial
-selections (feeding the interest-tracking rules of Example 5.3), inspect
-their profile and schema, and log out (SessionEnd).
+A GeWOlap-style web front end over the personalization *service* layer.
+Decision makers log in (SessionStart rules fire and build their
+personalized view), run GeoMDQL-lite queries against that view, report
+spatial selections (feeding the interest-tracking rules of Example 5.3),
+inspect their profile and schema, and log out (SessionEnd).
 
-Routes:
+The portal itself is a thin, versioned route table: every handler parses
+a DTO, calls one :class:`~repro.service.facade.PersonalizationService`
+method, and serializes the result.  All application logic, session state
+(TTL/eviction via a pluggable store) and multi-datamart tenancy live in
+:mod:`repro.service`.
 
-======  =======================  ==============================================
-POST    /login                   {"user": ..., "location": [x, y]} -> token
-POST    /logout                  end the session
-GET     /me                      profile snapshot
-GET     /schema                  personalized GeoMD schema (dict form)
-GET     /view                    personalization statistics
-POST    /query                   {"q": "SELECT ..."} over the personalized view
-POST    /selection               {"target": ..., "condition": ...} event report
-POST    /selection/rerun         re-run instance rules after interest changes
-GET     /layers/{name}           features of a thematic layer (WKT)
-======  =======================  ==============================================
+Versioned routes (``/api/v1``):
 
-All state is in-process; the ``X-Session`` header carries the token.
+======  ==============================  =======================================
+POST    /api/v1/login                   {"user", "datamart"?, "location"?} ->
+                                        token (datamart picks the tenant)
+POST    /api/v1/logout                  end the session
+GET     /api/v1/me                      profile snapshot
+GET     /api/v1/schema                  personalized GeoMD schema (dict form)
+GET     /api/v1/view                    personalization statistics
+POST    /api/v1/query                   {"q", "limit"?, "offset"?} over the
+                                        personalized view (paginated rows)
+POST    /api/v1/selection               {"target", "condition"} event report
+POST    /api/v1/selection/rerun         re-run instance rules after interest
+                                        changes
+GET     /api/v1/layers/{name}           features of a thematic layer (WKT),
+                                        paginated via ?limit=&offset=
+GET     /api/v1/datamarts               hosted tenants (no token required)
+======  ==============================  =======================================
+
+The seed's unversioned paths (``/login``, ``/view``, ...) still answer
+through a deprecation shim: same handlers, plus ``Deprecation: true``
+and ``X-Successor`` headers pointing at the ``/api/v1`` route.
+
+Every failure response shares the uniform envelope
+``{"error": {"code", "message", "detail"}}``; expired or invalid
+sessions return structured 401s.  The session token travels in the
+``X-Session`` header (or ``Authorization: Bearer``).
 """
 
 from __future__ import annotations
 
-import itertools
+import logging
 
-from repro.errors import WebError
-from repro.geometry import Point
-from repro.olap.gmdql import parse_query
-from repro.olap.query import execute
-from repro.personalization.engine import PersonalizationEngine, PersonalizedSession
+from repro.personalization.engine import PersonalizationEngine
+from repro.service import (
+    DatamartRegistry,
+    LoginRequest,
+    PageRequest,
+    PersonalizationService,
+    QueryRequest,
+    SelectionRequest,
+    SessionStore,
+)
 from repro.sus.model import UserProfile
-from repro.web.http import Request, Response, Router, json_response
+from repro.web.http import (
+    Handler,
+    Request,
+    Response,
+    Router,
+    json_response,
+    request_logging_middleware,
+    session_token_middleware,
+)
 
-__all__ = ["PortalApp"]
+__all__ = ["PortalApp", "API_PREFIX"]
+
+API_PREFIX = "/api/v1"
 
 
 class PortalApp:
-    """The in-process web application."""
+    """The in-process web application: routes + middleware, no logic.
 
-    def __init__(self, engine: PersonalizationEngine) -> None:
-        self.engine = engine
-        self.router = Router()
-        self._profiles: dict[str, UserProfile] = {}
-        self._sessions: dict[str, PersonalizedSession] = {}
-        self._token_counter = itertools.count(1)
+    Construct either from a single engine (back-compat: it becomes the
+    ``default`` datamart) or from a pre-built service/registry for
+    multi-tenant deployments.
+    """
+
+    def __init__(
+        self,
+        engine: PersonalizationEngine | None = None,
+        *,
+        service: PersonalizationService | None = None,
+        registry: DatamartRegistry | None = None,
+        session_store: SessionStore | None = None,
+        datamart_name: str = "default",
+        logger: logging.Logger | None = None,
+    ) -> None:
+        if service is not None:
+            self.service = service
+        else:
+            registry = registry or DatamartRegistry()
+            if engine is not None:
+                registry.register(datamart_name, engine, default=True)
+            self.service = PersonalizationService(
+                registry, session_store=session_store
+            )
+        # Router.dispatch always applies error_envelope_middleware
+        # innermost, so only the additive middlewares are listed here.
+        self.router = Router(
+            middlewares=[
+                request_logging_middleware(logger),
+                session_token_middleware,
+            ]
+        )
         self._register_routes()
 
-    # -- user management ------------------------------------------------------
+    # -- user management ----------------------------------------------------------
 
-    def register_user(self, profile: UserProfile) -> None:
-        """Make a profile known to the portal (the paper gathers user data
-        from requirements before runtime)."""
-        self._profiles[profile.user_id] = profile
+    @property
+    def registry(self) -> DatamartRegistry:
+        return self.service.registry
+
+    def register_user(
+        self, profile: UserProfile, datamart: str | None = None
+    ) -> None:
+        """Make a profile known to a datamart (the paper gathers user data
+        from requirements before runtime; ``None`` targets the default)."""
+        self.registry.get(datamart).register_user(profile)
 
     # -- request entry point ------------------------------------------------------
 
@@ -64,148 +129,107 @@ class PortalApp:
         path: str,
         body: dict | None = None,
         token: str | None = None,
+        headers: dict[str, str] | None = None,
+        query: dict[str, str] | None = None,
     ) -> Response:
-        """Convenience in-process request dispatch."""
-        headers = {"X-Session": token} if token else {}
+        """Convenience in-process request dispatch.
+
+        ``headers`` are passed through verbatim (the seed silently
+        dropped them); ``token`` is sugar for an ``X-Session`` header.
+        """
+        merged_headers = dict(headers or {})
+        if token is not None:
+            merged_headers.setdefault("X-Session", token)
         request = Request(
-            method=method, path=path, body=dict(body or {}), headers=headers
+            method=method,
+            path=path,
+            body=dict(body or {}),
+            headers=merged_headers,
+            query=dict(query or {}),
         )
         return self.router.dispatch(request)
 
-    # -- helpers ----------------------------------------------------------------
-
-    def _session_for(self, request: Request) -> PersonalizedSession:
-        token = request.session_token
-        if token is None:
-            raise WebError("missing X-Session header; POST /login first")
-        session = self._sessions.get(token)
-        if session is None or session.closed:
-            raise WebError("invalid or expired session token")
-        return session
-
-    # -- routes ------------------------------------------------------------------
+    # -- routes -------------------------------------------------------------------
 
     def _register_routes(self) -> None:
-        self.router.post("/login", self._login)
-        self.router.post("/logout", self._logout)
-        self.router.get("/me", self._me)
-        self.router.get("/schema", self._schema)
-        self.router.get("/view", self._view)
-        self.router.post("/query", self._query)
-        self.router.post("/selection", self._selection)
-        self.router.post("/selection/rerun", self._selection_rerun)
-        self.router.get("/layers/{name}", self._layer)
+        routes: list[tuple[str, str, Handler]] = [
+            ("POST", "/login", self._login),
+            ("POST", "/logout", self._logout),
+            ("GET", "/me", self._me),
+            ("GET", "/schema", self._schema),
+            ("GET", "/view", self._view),
+            ("POST", "/query", self._query),
+            ("POST", "/selection", self._selection),
+            ("POST", "/selection/rerun", self._selection_rerun),
+            ("GET", "/layers/{name}", self._layer),
+        ]
+        for method, path, handler in routes:
+            self.router.add(method, API_PREFIX + path, handler)
+            # Deprecation shim: the seed's unversioned paths keep
+            # answering, marked with successor headers.
+            self.router.add(
+                method, path, _deprecated(handler, API_PREFIX + path)
+            )
+        self.router.get(API_PREFIX + "/datamarts", self._datamarts)
+
+    # -- handlers (thin delegation to the service) --------------------------------
 
     def _login(self, request: Request) -> Response:
-        user_id = request.body.get("user")
-        if not user_id:
-            raise WebError("login requires a 'user' field")
-        profile = self._profiles.get(user_id)
-        if profile is None:
-            return json_response({"error": f"unknown user {user_id!r}"}, 404)
-        location = None
-        raw_location = request.body.get("location")
-        if raw_location is not None:
-            if (
-                not isinstance(raw_location, (list, tuple))
-                or len(raw_location) != 2
-            ):
-                raise WebError("'location' must be [x, y]")
-            location = Point(float(raw_location[0]), float(raw_location[1]))
-        session = self.engine.start_session(profile, location=location)
-        token = f"tok-{next(self._token_counter)}"
-        self._sessions[token] = session
-        return json_response(
-            {
-                "token": token,
-                "user": user_id,
-                "rules_fired": [o.rule_name for o in session.outcomes],
-                "view": session.view().stats(),
-            }
-        )
+        result = self.service.login(LoginRequest.from_body(request.body))
+        return json_response(result.to_dict())
 
     def _logout(self, request: Request) -> Response:
-        session = self._session_for(request)
-        outcomes = session.end()
-        assert request.session_token is not None
-        del self._sessions[request.session_token]
         return json_response(
-            {"ended": True, "rules_fired": [o.rule_name for o in outcomes]}
+            self.service.logout(request.session_token).to_dict()
         )
 
     def _me(self, request: Request) -> Response:
-        session = self._session_for(request)
-        return json_response(session.profile.to_dict())
+        return json_response(self.service.profile(request.session_token))
 
     def _schema(self, request: Request) -> Response:
-        session = self._session_for(request)
-        return json_response(session.view().schema.to_dict())
+        return json_response(self.service.schema(request.session_token))
 
     def _view(self, request: Request) -> Response:
-        session = self._session_for(request)
-        return json_response(session.view().stats())
+        return json_response(self.service.view_stats(request.session_token))
 
     def _query(self, request: Request) -> Response:
-        session = self._session_for(request)
-        text = request.body.get("q")
-        if not text:
-            raise WebError("query requires a 'q' field")
-        view = session.view()
-        query = parse_query(text, view.schema)
-        selection = view.fact_rows if view.is_restricted else None
-        cell_set = execute(view.star, query, selection, self.engine.metric)
-        return json_response(
-            {
-                "axes": [str(a) for a in cell_set.axes],
-                "labels": list(cell_set.labels),
-                "rows": [list(row) for row in cell_set.to_rows()],
-                "fact_rows_scanned": cell_set.fact_rows_scanned,
-                "fact_rows_matched": cell_set.fact_rows_matched,
-            }
+        result = self.service.query(
+            request.session_token, QueryRequest.from_body(request.body)
         )
+        return json_response(result.to_dict())
 
     def _selection(self, request: Request) -> Response:
-        session = self._session_for(request)
-        target = request.body.get("target")
-        condition = request.body.get("condition")
-        if not target or not condition:
-            raise WebError("selection requires 'target' and 'condition'")
-        outcomes = session.record_spatial_selection(target, condition)
-        return json_response(
-            {
-                "matched_rules": [o.rule_name for o in outcomes],
-                "profile": session.profile.to_dict(),
-            }
+        result = self.service.record_selection(
+            request.session_token, SelectionRequest.from_body(request.body)
         )
+        return json_response(result.to_dict())
 
     def _selection_rerun(self, request: Request) -> Response:
-        session = self._session_for(request)
-        outcomes = session.rerun_instance_rules()
         return json_response(
-            {
-                "rules_fired": [o.rule_name for o in outcomes],
-                "view": session.view().stats(),
-            }
+            self.service.rerun_instance_rules(request.session_token).to_dict()
         )
 
     def _layer(self, request: Request) -> Response:
-        session = self._session_for(request)
-        name = request.params["name"]
-        schema = session.view().schema
-        if name not in schema.layers:
-            return json_response({"error": f"no layer {name!r}"}, 404)
-        table = self.engine.star.layer_table(name)
-        return json_response(
-            {
-                "layer": name,
-                "geometric_type": schema.layers[name].geometric_type.name,
-                "features": [
-                    {
-                        "name": f.name,
-                        "wkt": f.geometry.wkt,
-                        "attributes": f.attributes,
-                    }
-                    for f in table.features()
-                ],
-            }
+        result = self.service.layer(
+            request.session_token,
+            request.params["name"],
+            PageRequest.from_mapping(request.query),
         )
+        return json_response(result.to_dict())
+
+    def _datamarts(self, request: Request) -> Response:
+        return json_response(
+            {"datamarts": [dm.to_dict() for dm in self.service.datamarts()]}
+        )
+
+
+def _deprecated(handler: Handler, successor: str) -> Handler:
+    """Wrap a v1 handler for a legacy unversioned route."""
+
+    def shimmed(request: Request) -> Response:
+        response = handler(request)
+        response.headers.setdefault("Deprecation", "true")
+        response.headers.setdefault("X-Successor", successor)
+        return response
+
+    return shimmed

@@ -4,14 +4,24 @@ Serves a :class:`~repro.web.portal.PortalApp` over a real socket with
 ``http.server`` — useful for poking the portal with curl on a developer
 machine.  Nothing in the test suite or the benchmarks uses this (the
 reproduction environment is offline); they drive the app object directly.
+
+The adapter is deliberately dumb: it parses the path, query string, JSON
+body and headers, hands everything to :meth:`PortalApp.handle`, and
+writes the response (status, JSON body and response headers — including
+the deprecation headers of the legacy-route shim) back out.  Concurrent
+requests are safe under the threading server: the session store is
+lock-protected, logins are serialized per engine, and requests carrying
+the same token are serialized per session record in the service layer.
 """
 
 from __future__ import annotations
 
 import json
-from http.server import BaseHTTPRequestHandler, HTTPServer
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
 
-from repro.web.http import parse_json_body
+from repro.errors import WebError
+from repro.web.http import error_response, parse_json_body
 from repro.web.portal import PortalApp
 
 __all__ = ["make_server", "serve"]
@@ -22,13 +32,23 @@ def _make_handler(app: PortalApp) -> type[BaseHTTPRequestHandler]:
         def _dispatch(self, method: str) -> None:
             length = int(self.headers.get("Content-Length", "0") or "0")
             raw = self.rfile.read(length) if length else b""
-            body = parse_json_body(raw)
-            token = self.headers.get("X-Session")
-            response = app.handle(method, self.path, body, token)
+            split = urlsplit(self.path)
+            query = dict(parse_qsl(split.query))
+            headers = {key: value for key, value in self.headers.items()}
+            try:
+                body = parse_json_body(raw)
+            except WebError as exc:
+                response = error_response("bad_request", str(exc), 400)
+            else:
+                response = app.handle(
+                    method, split.path, body, headers=headers, query=query
+                )
             payload = json.dumps(response.body, default=str).encode("utf-8")
             self.send_response(response.status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(payload)))
+            for key, value in response.headers.items():
+                self.send_header(key, value)
             self.end_headers()
             self.wfile.write(payload)
 
@@ -46,9 +66,9 @@ def _make_handler(app: PortalApp) -> type[BaseHTTPRequestHandler]:
 
 def make_server(
     app: PortalApp, host: str = "127.0.0.1", port: int = 8080
-) -> HTTPServer:
+) -> ThreadingHTTPServer:
     """Build the HTTP server without starting it (port 0 picks a free one)."""
-    return HTTPServer((host, port), _make_handler(app))
+    return ThreadingHTTPServer((host, port), _make_handler(app))
 
 
 def serve(app: PortalApp, host: str = "127.0.0.1", port: int = 8080) -> None:

@@ -1,0 +1,59 @@
+"""Tests for multi-datamart tenancy: the DatamartRegistry."""
+
+import pytest
+
+from repro.errors import BadRequestError, NotFoundError
+from repro.service import DatamartRegistry
+
+
+class TestRegistry:
+    def test_first_registered_is_default(self, engine):
+        registry = DatamartRegistry()
+        registry.register("sales", engine)
+        assert registry.default_name == "sales"
+        assert registry.get().name == "sales"
+        assert registry.get("sales").engine is engine
+
+    def test_explicit_default_wins(self, engine):
+        registry = DatamartRegistry()
+        registry.register("a", engine)
+        registry.register("b", engine, default=True)
+        assert registry.get().name == "b"
+
+    def test_unknown_datamart_is_structured_404(self, engine):
+        registry = DatamartRegistry()
+        registry.register("sales", engine)
+        with pytest.raises(NotFoundError) as excinfo:
+            registry.get("marketing")
+        assert excinfo.value.code == "unknown_datamart"
+        assert excinfo.value.status == 404
+        assert "sales" in str(excinfo.value)
+
+    def test_empty_registry_has_no_default(self):
+        with pytest.raises(NotFoundError):
+            DatamartRegistry().get()
+
+    def test_duplicate_name_rejected(self, engine):
+        registry = DatamartRegistry()
+        registry.register("sales", engine)
+        with pytest.raises(BadRequestError) as excinfo:
+            registry.register("sales", engine)
+        assert excinfo.value.code == "duplicate_datamart"
+
+    def test_names_membership_iteration(self, engine):
+        registry = DatamartRegistry()
+        registry.register("b", engine)
+        registry.register("a", engine)
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry and "c" not in registry
+        assert len(registry) == 2
+        assert {dm.name for dm in registry} == {"a", "b"}
+
+    def test_user_registration_per_datamart(self, engine, profile):
+        registry = DatamartRegistry()
+        datamart = registry.register("sales", engine)
+        datamart.register_user(profile)
+        assert datamart.profile(profile.user_id) is profile
+        with pytest.raises(NotFoundError) as excinfo:
+            datamart.profile("nobody")
+        assert excinfo.value.code == "unknown_user"

@@ -1,0 +1,178 @@
+"""Tests for the pluggable session store: TTL, eviction, thread-safety."""
+
+import threading
+
+import pytest
+
+from repro.errors import UnauthorizedError
+from repro.service import InMemorySessionStore
+
+
+class StubSession:
+    """Duck-typed stand-in for a PersonalizedSession."""
+
+    def __init__(self):
+        self.closed = False
+        self.ended = 0
+
+    def end(self):
+        self.ended += 1
+        self.closed = True
+
+
+class Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return Clock()
+
+
+def make_store(clock, **kwargs):
+    kwargs.setdefault("ttl", 10.0)
+    kwargs.setdefault("max_sessions", 4)
+    return InMemorySessionStore(clock=clock, **kwargs)
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self, clock):
+        store = make_store(clock)
+        session = StubSession()
+        record = store.put(session, datamart="sales", user_id="ana")
+        assert record.token.startswith("tok-")
+        got = store.get(record.token)
+        assert got.session is session
+        assert got.datamart == "sales"
+        assert got.user_id == "ana"
+        assert len(store) == 1
+
+    def test_tokens_are_unique(self, clock):
+        store = make_store(clock, max_sessions=100)
+        tokens = {
+            store.put(StubSession(), datamart="d", user_id="u").token
+            for _ in range(50)
+        }
+        assert len(tokens) == 50
+
+    def test_unknown_token_is_structured_401(self, clock):
+        store = make_store(clock)
+        with pytest.raises(UnauthorizedError) as excinfo:
+            store.get("tok-nope")
+        assert excinfo.value.status == 401
+        assert excinfo.value.code == "invalid_session"
+
+    def test_remove_is_idempotent(self, clock):
+        store = make_store(clock)
+        record = store.put(StubSession(), datamart="d", user_id="u")
+        store.remove(record.token)
+        store.remove(record.token)
+        assert len(store) == 0
+
+
+class TestTTL:
+    def test_expiry_after_idle_ttl(self, clock):
+        store = make_store(clock, ttl=10.0)
+        session = StubSession()
+        record = store.put(session, datamart="d", user_id="u")
+        clock.advance(10.1)
+        with pytest.raises(UnauthorizedError) as excinfo:
+            store.get(record.token)
+        assert excinfo.value.code == "session_expired"
+        assert excinfo.value.status == 401
+        # The expired analysis session was ended like a logout would.
+        assert session.ended == 1
+        assert len(store) == 0
+
+    def test_access_refreshes_idle_clock(self, clock):
+        store = make_store(clock, ttl=10.0)
+        record = store.put(StubSession(), datamart="d", user_id="u")
+        clock.advance(6.0)
+        store.get(record.token)  # touch at t=6
+        clock.advance(6.0)  # t=12: only 6s idle since last touch
+        assert store.get(record.token).token == record.token
+
+    def test_purge_expired_sweeps_everything_stale(self, clock):
+        store = make_store(clock, ttl=10.0, max_sessions=10)
+        sessions = [StubSession() for _ in range(3)]
+        for session in sessions:
+            store.put(session, datamart="d", user_id="u")
+        clock.advance(11.0)
+        fresh = StubSession()
+        fresh_token = store.put(fresh, datamart="d", user_id="u").token
+        # put() already purged; a second sweep finds nothing.
+        assert store.purge_expired() == 0
+        assert len(store) == 1
+        assert all(s.ended == 1 for s in sessions)
+        assert store.get(fresh_token).session is fresh
+
+
+class TestEviction:
+    def test_lru_eviction_at_capacity(self, clock):
+        store = make_store(clock, max_sessions=2)
+        first = StubSession()
+        token1 = store.put(first, datamart="d", user_id="u1").token
+        token2 = store.put(StubSession(), datamart="d", user_id="u2").token
+        clock.advance(1.0)
+        store.get(token1)  # token1 is now most recently used
+        store.put(StubSession(), datamart="d", user_id="u3")  # evicts token2
+        assert len(store) == 2
+        assert store.get(token1)
+        with pytest.raises(UnauthorizedError):
+            store.get(token2)
+
+    def test_evicted_session_is_ended(self, clock):
+        store = make_store(clock, max_sessions=1)
+        first = StubSession()
+        store.put(first, datamart="d", user_id="u1")
+        store.put(StubSession(), datamart="d", user_id="u2")
+        assert first.ended == 1
+
+    def test_end_failure_does_not_break_eviction(self, clock):
+        store = make_store(clock, max_sessions=1)
+
+        class ExplodingSession(StubSession):
+            def end(self):
+                raise RuntimeError("boom")
+
+        store.put(ExplodingSession(), datamart="d", user_id="u1")
+        record = store.put(StubSession(), datamart="d", user_id="u2")
+        assert store.get(record.token)
+
+    def test_constructor_validation(self, clock):
+        with pytest.raises(ValueError):
+            InMemorySessionStore(ttl=0, clock=clock)
+        with pytest.raises(ValueError):
+            InMemorySessionStore(max_sessions=0, clock=clock)
+
+
+class TestConcurrency:
+    def test_parallel_put_get_remove(self):
+        store = InMemorySessionStore(ttl=60.0, max_sessions=64)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(50):
+                    record = store.put(
+                        StubSession(), datamart="d", user_id="u"
+                    )
+                    store.get(record.token)
+                    store.remove(record.token)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(store) == 0

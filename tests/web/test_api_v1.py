@@ -1,0 +1,417 @@
+"""Tests for the versioned /api/v1 surface: envelopes, tenancy, paging,
+and the legacy-route deprecation shim."""
+
+import pytest
+
+from repro.data import (
+    WorldGeoSource,
+    build_regional_manager_profile,
+    build_sales_star,
+)
+from repro.personalization import PersonalizationEngine
+from repro.service import (
+    DatamartRegistry,
+    InMemorySessionStore,
+    PersonalizationService,
+)
+from repro.web import PortalApp
+
+CONDITION = "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km"
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return Clock()
+
+
+@pytest.fixture()
+def portal(engine, world, user_schema, profile, clock):
+    """A two-tenant portal with a deterministic, short-TTL session store."""
+    registry = DatamartRegistry()
+    sales = registry.register("sales", engine, description="paper scenario")
+    sales.register_user(profile)
+    bare = registry.register(
+        "bare",
+        PersonalizationEngine(
+            build_sales_star(world),
+            user_schema,
+            geo_source=WorldGeoSource(world),
+        ),
+    )
+    bare.register_user(
+        build_regional_manager_profile(user_schema, name="Bo Li")
+    )
+    service = PersonalizationService(
+        registry, session_store=InMemorySessionStore(ttl=100.0, clock=clock)
+    )
+    return PortalApp(service=service)
+
+
+def _login(portal, profile, world, **extra):
+    location = world.stores[0].location
+    body = {"user": profile.user_id, "location": [location.x, location.y]}
+    body.update(extra)
+    response = portal.handle("POST", "/api/v1/login", body)
+    assert response.ok, response.body
+    return response.json()["token"]
+
+
+def _assert_envelope(response, status, code=None):
+    assert response.status == status, response.body
+    assert set(response.body) == {"error"}
+    envelope = response.body["error"]
+    assert set(envelope) == {"code", "message", "detail"}
+    if code is not None:
+        assert envelope["code"] == code
+    assert isinstance(envelope["message"], str) and envelope["message"]
+
+
+class TestErrorEnvelope:
+    """Every failure path shares {"error": {code, message, detail}}."""
+
+    def test_missing_token(self, portal):
+        _assert_envelope(
+            portal.handle("GET", "/api/v1/view"), 401, "missing_token"
+        )
+
+    def test_invalid_token(self, portal):
+        _assert_envelope(
+            portal.handle("GET", "/api/v1/view", token="tok-nope"),
+            401,
+            "invalid_session",
+        )
+
+    def test_expired_session(self, portal, profile, world, clock):
+        token = _login(portal, profile, world)
+        clock.advance(101.0)
+        _assert_envelope(
+            portal.handle("GET", "/api/v1/view", token=token),
+            401,
+            "session_expired",
+        )
+
+    def test_unknown_user(self, portal):
+        _assert_envelope(
+            portal.handle("POST", "/api/v1/login", {"user": "nobody"}),
+            404,
+            "unknown_user",
+        )
+
+    def test_unknown_datamart(self, portal, profile):
+        _assert_envelope(
+            portal.handle(
+                "POST",
+                "/api/v1/login",
+                {"user": profile.user_id, "datamart": "marketing"},
+            ),
+            404,
+            "unknown_datamart",
+        )
+
+    def test_missing_user_field(self, portal):
+        _assert_envelope(
+            portal.handle("POST", "/api/v1/login", {}), 400, "bad_request"
+        )
+
+    def test_bad_location(self, portal, profile):
+        _assert_envelope(
+            portal.handle(
+                "POST",
+                "/api/v1/login",
+                {"user": profile.user_id, "location": [1]},
+            ),
+            400,
+            "bad_request",
+        )
+
+    def test_bad_query(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        _assert_envelope(
+            portal.handle(
+                "POST", "/api/v1/query", {"q": "SELEKT nope"}, token=token
+            ),
+            400,
+            "query_error",
+        )
+
+    def test_missing_selection_fields(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        _assert_envelope(
+            portal.handle(
+                "POST", "/api/v1/selection", {"target": "x"}, token=token
+            ),
+            400,
+            "bad_request",
+        )
+
+    def test_unknown_layer(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        _assert_envelope(
+            portal.handle("GET", "/api/v1/layers/Rivers", token=token),
+            404,
+            "unknown_layer",
+        )
+
+    def test_unknown_route(self, portal):
+        _assert_envelope(
+            portal.handle("GET", "/api/v1/nowhere"), 404, "not_found"
+        )
+
+    def test_method_not_allowed(self, portal):
+        _assert_envelope(
+            portal.handle("GET", "/api/v1/login"), 405, "method_not_allowed"
+        )
+
+    def test_bad_pagination_value(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        _assert_envelope(
+            portal.handle(
+                "GET",
+                "/api/v1/layers/Airport",
+                token=token,
+                query={"limit": "many"},
+            ),
+            400,
+            "bad_request",
+        )
+
+
+class TestMultiDatamart:
+    def test_login_routes_to_named_datamart(self, portal, world):
+        response = portal.handle(
+            "POST", "/api/v1/login", {"user": "bo-li", "datamart": "bare"}
+        )
+        assert response.ok
+        payload = response.json()
+        assert payload["datamart"] == "bare"
+        assert payload["rules_fired"] == []
+
+    def test_default_datamart_fires_paper_rules(self, portal, profile, world):
+        response = portal.handle(
+            "POST",
+            "/api/v1/login",
+            {
+                "user": profile.user_id,
+                "location": [
+                    world.stores[0].location.x,
+                    world.stores[0].location.y,
+                ],
+            },
+        )
+        payload = response.json()
+        assert payload["datamart"] == "sales"
+        assert "addSpatiality" in payload["rules_fired"]
+
+    def test_datamarts_endpoint_is_public(self, portal, profile, world):
+        _login(portal, profile, world)
+        response = portal.handle("GET", "/api/v1/datamarts")
+        assert response.ok
+        datamarts = {d["name"]: d for d in response.json()["datamarts"]}
+        assert set(datamarts) == {"sales", "bare"}
+        assert datamarts["sales"]["default"] is True
+        assert datamarts["sales"]["sessions_started"] == 1
+        assert datamarts["sales"]["rules"] == 5
+
+    def test_users_are_tenant_scoped(self, portal):
+        _assert_envelope(
+            portal.handle(
+                "POST", "/api/v1/login", {"user": "bo-li", "datamart": "sales"}
+            ),
+            404,
+            "unknown_user",
+        )
+
+
+class TestPagination:
+    def test_layer_window(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        full = portal.handle("GET", "/api/v1/layers/Airport", token=token)
+        total = full.json()["page"]["total"]
+        assert total == len(world.airports)
+        assert full.json()["page"]["limit"] is None
+
+        page = portal.handle(
+            "GET",
+            "/api/v1/layers/Airport",
+            token=token,
+            query={"limit": "1", "offset": "1"},
+        )
+        payload = page.json()
+        assert len(payload["features"]) == 1
+        assert payload["page"] == {
+            "total": total,
+            "offset": 1,
+            "limit": 1,
+            "returned": 1,
+        }
+        assert payload["features"][0] == full.json()["features"][1]
+
+    def test_offset_past_end_is_empty(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        response = portal.handle(
+            "GET",
+            "/api/v1/layers/Airport",
+            token=token,
+            query={"offset": "9999"},
+        )
+        assert response.ok
+        assert response.json()["features"] == []
+        assert response.json()["page"]["returned"] == 0
+
+    def test_limit_zero_is_empty(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        response = portal.handle(
+            "GET",
+            "/api/v1/layers/Airport",
+            token=token,
+            query={"limit": "0"},
+        )
+        assert response.ok
+        assert response.json()["features"] == []
+        assert response.json()["page"]["total"] == len(world.airports)
+
+    def test_query_rows_paginate(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        body = {"q": "SELECT SUM(UnitSales) FROM Sales BY Product.Family"}
+        full = portal.handle("POST", "/api/v1/query", body, token=token).json()
+        paged = portal.handle(
+            "POST",
+            "/api/v1/query",
+            {**body, "limit": 1, "offset": 1},
+            token=token,
+        ).json()
+        assert paged["rows"] == full["rows"][1:2]
+        assert paged["page"]["total"] == len(full["rows"])
+        # Scan statistics describe the query, not the page window.
+        assert paged["fact_rows_scanned"] == full["fact_rows_scanned"]
+
+
+class TestLegacyShim:
+    LEGACY_TO_V1 = {
+        ("POST", "/login"): "/api/v1/login",
+        ("GET", "/view"): "/api/v1/view",
+        ("GET", "/me"): "/api/v1/me",
+    }
+
+    def test_legacy_login_parity(self, portal, profile, world):
+        location = world.stores[0].location
+        body = {
+            "user": profile.user_id,
+            "location": [location.x, location.y],
+        }
+        legacy = portal.handle("POST", "/login", body)
+        assert legacy.ok
+        assert legacy.headers["Deprecation"] == "true"
+        assert legacy.headers["X-Successor"] == "/api/v1/login"
+        v1 = portal.handle("POST", "/api/v1/login", body)
+        assert v1.ok
+        assert v1.headers.get("Deprecation") is None
+        # Same shape, same personalization outcome; only tokens differ.
+        legacy_body = {k: v for k, v in legacy.json().items() if k != "token"}
+        v1_body = {k: v for k, v in v1.json().items() if k != "token"}
+        assert legacy_body == v1_body
+
+    def test_legacy_flow_round_trip(self, portal, profile, world):
+        token = portal.handle(
+            "POST", "/login", {"user": profile.user_id}
+        ).json()["token"]
+        view = portal.handle("GET", "/view", token=token)
+        assert view.ok
+        assert view.headers["X-Successor"] == "/api/v1/view"
+        assert view.json() == portal.handle(
+            "GET", "/api/v1/view", token=token
+        ).json()
+        assert portal.handle("POST", "/logout", token=token).ok
+
+    def test_legacy_errors_share_envelope(self, portal):
+        _assert_envelope(portal.handle("GET", "/view"), 401, "missing_token")
+
+
+class TestHeaderHandling:
+    def test_handle_passes_extra_headers(self, portal, profile, world):
+        # The seed's handle() dropped everything except the token kwarg.
+        token = _login(portal, profile, world)
+        response = portal.handle(
+            "GET", "/api/v1/view", headers={"X-Session": token}
+        )
+        assert response.ok
+
+    def test_header_names_are_case_insensitive(self, portal, profile, world):
+        # Real HTTP clients may lowercase header names.
+        token = _login(portal, profile, world)
+        assert portal.handle(
+            "GET", "/api/v1/view", headers={"x-session": token}
+        ).ok
+        assert portal.handle(
+            "GET", "/api/v1/view", headers={"authorization": f"Bearer {token}"}
+        ).ok
+
+    def test_authorization_bearer_is_accepted(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        response = portal.handle(
+            "GET",
+            "/api/v1/view",
+            headers={"Authorization": f"Bearer {token}"},
+        )
+        assert response.ok
+
+    def test_token_kwarg_does_not_clobber_header(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        response = portal.handle(
+            "GET",
+            "/api/v1/view",
+            token="tok-should-lose",
+            headers={"X-Session": token},
+        )
+        assert response.ok
+
+
+class TestSelectionSafety:
+    #: An acquisition rule that needs the session location at fire time —
+    #: logging in without one makes its evaluation raise PRMLRuntimeError.
+    NEEDS_LOCATION = """\
+Rule:needsLocation When
+  SpatialSelection(GeoMD.Store.City,
+    Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20km) do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry,
+        SUS.DecisionMaker.dm2session.s2location.geometry) < 5km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen
+"""
+
+    def test_raising_acquisition_rule_records_outcome(
+        self, portal, world, profile
+    ):
+        """A rule that fails at fire time must not 500 the request: it now
+        goes through the same ECA-safe path as the other phases, so the
+        report succeeds and the errored rule still counts as matched."""
+        engine = portal.registry.get("sales").engine
+        engine.add_rule(self.NEEDS_LOCATION)
+        token = portal.handle(
+            "POST", "/api/v1/login", {"user": profile.user_id}
+        ).json()["token"]  # no location: the new rule will raise when fired
+        response = portal.handle(
+            "POST",
+            "/api/v1/selection",
+            {"target": "GeoMD.Store.City", "condition": CONDITION},
+            token=token,
+        )
+        assert response.ok, response.body
+        assert response.json()["matched_rules"] == [
+            "IntAirportCity",
+            "needsLocation",
+        ]

@@ -43,7 +43,7 @@ class TestRouter:
         router.get("/x", boom)
         response = router.dispatch(Request("GET", "/x"))
         assert response.status == 400
-        assert "bad input" in response.json()["error"]
+        assert "bad input" in response.json()["error"]["message"]
 
     def test_crash_becomes_500(self):
         router = Router()

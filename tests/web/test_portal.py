@@ -50,10 +50,10 @@ class TestLogin:
         assert response.status == 400
 
     def test_request_without_token(self, portal):
-        assert portal.handle("GET", "/view").status == 400
+        assert portal.handle("GET", "/view").status == 401
 
     def test_invalid_token(self, portal):
-        assert portal.handle("GET", "/view", token="tok-999").status == 400
+        assert portal.handle("GET", "/view", token="tok-999").status == 401
 
 
 class TestAnalysisFlow:
@@ -85,7 +85,8 @@ class TestAnalysisFlow:
         response = portal.handle(
             "POST", "/query", {"q": "SELEKT nothing"}, token=token
         )
-        assert response.status == 500  # QueryError surfaced
+        assert response.status == 400  # QueryError -> structured query_error
+        assert response.json()["error"]["code"] == "query_error"
 
     def test_layer_endpoint(self, portal, profile, world):
         token = _login(portal, profile, world)
@@ -149,7 +150,7 @@ class TestLogout:
         token = _login(portal, profile, world)
         response = portal.handle("POST", "/logout", token=token)
         assert response.ok
-        assert portal.handle("GET", "/view", token=token).status == 400
+        assert portal.handle("GET", "/view", token=token).status == 401
 
     def test_two_sequential_sessions(self, portal, profile, world):
         token1 = _login(portal, profile, world)

@@ -68,7 +68,25 @@ class TestHTTPAdapter:
 
     def test_error_status_codes_propagate(self, http_portal):
         status, body = _request(http_portal, "GET", "/view")
-        assert status == 400
-        assert "error" in body
+        assert status == 401
+        assert set(body["error"]) == {"code", "message", "detail"}
         status, _body = _request(http_portal, "GET", "/nowhere")
         assert status == 404
+
+    def test_pagination_and_deprecation_over_sockets(
+        self, http_portal, profile, world
+    ):
+        location = world.stores[0].location
+        _status, login = _request(
+            http_portal,
+            "POST",
+            "/api/v1/login",
+            {"user": profile.user_id, "location": [location.x, location.y]},
+        )
+        token = login["token"]
+        status, layer = _request(
+            http_portal, "GET", "/api/v1/layers/Airport?limit=1", token=token
+        )
+        assert status == 200
+        assert layer["page"]["returned"] == 1
+        assert layer["page"]["total"] == len(world.airports)
