@@ -3,25 +3,49 @@
 Infrastructure benchmark (not a paper artefact): with the web layer
 rebuilt as a thin route table over the service façade (middleware
 pipeline, session store, DTO serialization), this measures what one
-process can serve.  Three request mixes:
+process can serve.  Five request mixes:
 
-* EXT3a — ``GET /api/v1/view`` (session auth + stats; the cheapest
-  authenticated request, dominated by framework overhead);
-* EXT3b — ``POST /api/v1/query`` (GeoMDQL parse + execute over the
-  personalized selection; the realistic analysis hot path);
+* EXT3a — ``GET /api/v1/view`` (session auth + stats; with the
+  generation-keyed view memo this is the steady-state cache-hit path);
+* EXT3b — ``POST /api/v1/query`` (GeoMDQL parse + LRU-cached execute
+  over the personalized selection; the realistic analysis hot path);
 * EXT3c — full session lifecycle (login with rule firing, one view,
-  logout) — what a login storm costs.
+  logout) — what a login storm costs;
+* EXT3d — steady-state mix (8 views + 2 queries per round), the
+  repeated-view/repeated-query ratio of a dashboard refresh;
+* EXT3e — invalidation mix: views/queries with a spatial-selection
+  report every round, forcing the memo and query cache to re-materialize.
+
+Set ``BENCH_JSON_OUT=/path/to.json`` to emit the measured req/s series
+as a JSON artefact (the perf-trajectory format of
+``benchmarks/run_benchmarks.py``).
 
 Run with::
 
     pytest benchmarks/bench_ext3_portal_throughput.py --benchmark-only -s
 """
 
+import atexit
+import json
+import os
 import time
 
 from repro.web import PortalApp
 
 QUERY = "SELECT SUM(UnitSales) FROM Sales BY Product.Family"
+
+#: label -> req/s, dumped to $BENCH_JSON_OUT at exit when set.
+RESULTS: dict[str, float] = {}
+
+
+def _emit_json() -> None:
+    out = os.environ.get("BENCH_JSON_OUT")
+    if out and RESULTS:
+        with open(out, "w") as handle:
+            json.dump({"series": "EXT3", "req_per_s": RESULTS}, handle, indent=2)
+
+
+atexit.register(_emit_json)
 
 
 def _make_portal(engine, profile):
@@ -41,13 +65,15 @@ def _login(app, profile, world):
     return response.json()["token"]
 
 
-def _report(label, app, request, rounds=300):
+def _report(label, app, request, rounds=300, requests_per_round=1):
     """Requests/sec through Router.dispatch for the EXPERIMENTS series."""
     started = time.perf_counter()
     for _ in range(rounds):
         request()
     elapsed = time.perf_counter() - started
-    print(f"\n[{label}] {rounds / elapsed:,.0f} req/s in-process ({app.registry.names()})")
+    rate = rounds * requests_per_round / elapsed
+    RESULTS[label] = round(rate, 1)
+    print(f"\n[{label}] {rate:,.0f} req/s in-process ({app.registry.names()})")
 
 
 def test_ext3a_view_throughput(benchmark, engine, profile, world):
@@ -60,7 +86,7 @@ def test_ext3a_view_throughput(benchmark, engine, profile, world):
         return response
 
     benchmark(view)
-    _report("EXT3a view", app, view)
+    _report("EXT3a view", app, view, rounds=2000)
 
 
 def test_ext3b_query_throughput(benchmark, engine, profile, world):
@@ -74,7 +100,7 @@ def test_ext3b_query_throughput(benchmark, engine, profile, world):
         return response
 
     benchmark(query)
-    _report("EXT3b query", app, query, rounds=50)
+    _report("EXT3b query", app, query, rounds=500)
 
 
 def test_ext3c_session_lifecycle_throughput(benchmark, engine, profile, world):
@@ -91,4 +117,56 @@ def test_ext3c_session_lifecycle_throughput(benchmark, engine, profile, world):
         assert app.handle("POST", "/api/v1/logout", token=token).ok
 
     benchmark(lifecycle)
-    _report("EXT3c lifecycle", app, lifecycle, rounds=20)
+    _report("EXT3c lifecycle", app, lifecycle, rounds=20, requests_per_round=3)
+
+
+def test_ext3d_steady_state_mix(benchmark, engine, profile, world):
+    """The dashboard-refresh ratio: repeated views dominate, a few queries."""
+    app = _make_portal(engine, profile)
+    token = _login(app, profile, world)
+    body = {"q": QUERY, "limit": 10}
+
+    def mix():
+        for _ in range(8):
+            assert app.handle("GET", "/api/v1/view", token=token).ok
+        for _ in range(2):
+            assert app.handle("POST", "/api/v1/query", body, token=token).ok
+
+    benchmark(mix)
+    _report("EXT3d steady mix", app, mix, rounds=100, requests_per_round=10)
+
+
+def test_ext3e_invalidation_mix(benchmark, engine, profile, world):
+    """Worst case for the cache hierarchy: every round mutates the star
+    (a feature insert bumps its generation) and reports a spatial
+    selection, so views/queries keep re-materializing instead of hitting
+    the memo.  A repeated identical selection alone would NOT invalidate:
+    the selection generation only moves when the selection grows."""
+    from itertools import count
+
+    from repro.geometry import Point
+
+    app = _make_portal(engine, profile)
+    token = _login(app, profile, world)
+    body = {"q": QUERY, "limit": 10}
+    selection = {
+        "target": "GeoMD.Store.City",
+        "condition": (
+            "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km"
+        ),
+    }
+    feature_ids = count()
+
+    def mix():
+        engine.star.add_feature(
+            "Airport", f"bench-{next(feature_ids)}", Point(0.0, 0.0)
+        )
+        assert app.handle(
+            "POST", "/api/v1/selection", selection, token=token
+        ).ok
+        for _ in range(4):
+            assert app.handle("GET", "/api/v1/view", token=token).ok
+        assert app.handle("POST", "/api/v1/query", body, token=token).ok
+
+    benchmark(mix)
+    _report("EXT3e invalidation mix", app, mix, rounds=50, requests_per_round=6)

@@ -1,0 +1,225 @@
+"""EXT-series benchmark runner with a JSON emitter (perf trajectory).
+
+Runs the EXT3 portal request mixes twice — once with every cache layer
+disabled (``engine.enable_caches = False``, ``star.use_indexes = False``,
+service ``query_cache_size = 0``; the pre-cache-hierarchy request path)
+and once with them enabled — and writes a JSON artefact recording req/s
+and fact rows scanned per mix, plus the speedups.  Before timing, it
+replays each mix in both modes and asserts the response bodies are
+byte-identical: the caches must be *transparent*.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py --smoke --out BENCH_PR2.json
+    python benchmarks/run_benchmarks.py --scale medium --rounds 2000
+
+``--smoke`` keeps rounds small so CI can afford it on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.data import (  # noqa: E402
+    ALL_PAPER_RULES,
+    WorldConfig,
+    WorldGeoSource,
+    build_motivating_user_model,
+    build_regional_manager_profile,
+    build_sales_star,
+    generate_world,
+)
+from repro.personalization import PersonalizationEngine  # noqa: E402
+from repro.web import PortalApp  # noqa: E402
+
+THRESHOLD = 3
+QUERY = "SELECT SUM(UnitSales) FROM Sales BY Product.Family"
+
+SCALES = {
+    "small": WorldConfig(seed=7, sales=2_000),
+    "medium": WorldConfig(
+        seed=7,
+        cities_per_state=8,
+        stores_per_city=5,
+        customers_per_city=20,
+        sales=10_000,
+    ),
+}
+
+
+def build_portal(scale: str):
+    world = generate_world(SCALES[scale])
+    star = build_sales_star(world)
+    engine = PersonalizationEngine(
+        star,
+        build_motivating_user_model(),
+        geo_source=WorldGeoSource(world),
+        parameters={"threshold": THRESHOLD},
+    )
+    engine.add_rules(ALL_PAPER_RULES.values())
+    profile = build_regional_manager_profile(build_motivating_user_model())
+    app = PortalApp(engine, datamart_name="sales")
+    app.register_user(profile)
+    return world, star, engine, profile, app
+
+
+def login(app, profile, world) -> str:
+    location = world.stores[0].location
+    response = app.handle(
+        "POST",
+        "/api/v1/login",
+        {"user": profile.user_id, "location": [location.x, location.y]},
+    )
+    assert response.ok, response.body
+    return response.json()["token"]
+
+
+def set_caches(app, engine, star, enabled: bool) -> None:
+    engine.enable_caches = enabled
+    star.use_indexes = enabled
+    app.service.query_cache_size = 256 if enabled else 0
+    app.service._query_cache.clear()
+
+
+def make_mixes(app, profile, world, token):
+    """name -> zero-arg callable returning the JSON bodies it produced."""
+    query_body = {"q": QUERY, "limit": 10}
+
+    def view():
+        response = app.handle("GET", "/api/v1/view", token=token)
+        assert response.ok, response.body
+        return [response.json()]
+
+    def query():
+        response = app.handle("POST", "/api/v1/query", query_body, token=token)
+        assert response.ok, response.body
+        return [response.json()]
+
+    def steady_state_mix():
+        bodies = []
+        for _ in range(8):
+            bodies.extend(view())
+        for _ in range(2):
+            bodies.extend(query())
+        return bodies
+
+    def lifecycle():
+        location = world.stores[0].location
+        fresh = app.handle(
+            "POST",
+            "/api/v1/login",
+            {"user": profile.user_id, "location": [location.x, location.y]},
+        ).json()["token"]
+        bodies = [app.handle("GET", "/api/v1/view", token=fresh).json()]
+        assert app.handle("POST", "/api/v1/logout", token=fresh).ok
+        return bodies
+
+    # name -> (callable, HTTP requests issued per call)
+    return {
+        "ext3a_repeated_view": (view, 1),
+        "ext3b_repeated_query": (query, 1),
+        "ext3d_steady_state_mix": (steady_state_mix, 10),
+        "ext3c_session_lifecycle": (lifecycle, 3),
+    }
+
+
+def time_mix(fn, rounds: int) -> float:
+    fn()  # warm-up
+    started = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    elapsed = time.perf_counter() - started
+    return rounds / elapsed
+
+
+def rows_scanned(app, token) -> int:
+    response = app.handle(
+        "POST", "/api/v1/query", {"q": QUERY, "limit": 1}, token=token
+    )
+    return response.json()["fact_rows_scanned"]
+
+
+def run(scale: str, rounds: int, out_path: str | None) -> dict:
+    world, star, engine, profile, app = build_portal(scale)
+    token = login(app, profile, world)
+    mixes = make_mixes(app, profile, world, token)
+    per_mix_rounds = {
+        "ext3a_repeated_view": rounds,
+        "ext3b_repeated_query": max(rounds // 4, 10),
+        "ext3d_steady_state_mix": max(rounds // 10, 10),
+        "ext3c_session_lifecycle": max(rounds // 20, 5),
+    }
+
+    # Transparency gate: every mix must answer identically in both modes.
+    # (Lifecycle bodies contain fresh tokens, so compare the token-free
+    # view body it returns.)
+    for name, (fn, _weight) in mixes.items():
+        set_caches(app, engine, star, False)
+        uncached = fn()
+        set_caches(app, engine, star, True)
+        cached = fn()
+        assert uncached == cached, f"{name}: cached response differs"
+
+    results: dict = {
+        "series": "EXT3",
+        "scale": scale,
+        "rounds": per_mix_rounds,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "mixes": {},
+    }
+    for name, (fn, weight) in mixes.items():
+        mix_rounds = per_mix_rounds[name]
+        set_caches(app, engine, star, False)
+        before = time_mix(fn, mix_rounds) * weight
+        scanned_before = rows_scanned(app, token)
+        set_caches(app, engine, star, True)
+        after = time_mix(fn, mix_rounds) * weight
+        scanned_after = rows_scanned(app, token)
+        results["mixes"][name] = {
+            "before_req_per_s": round(before, 1),
+            "after_req_per_s": round(after, 1),
+            "speedup": round(after / before, 2),
+            "fact_rows_scanned_before": scanned_before,
+            "fact_rows_scanned_after": scanned_after,
+        }
+        print(
+            f"[{name}] {before:,.0f} -> {after:,.0f} req/s "
+            f"({after / before:.1f}x), rows scanned "
+            f"{scanned_before} -> {scanned_after}"
+        )
+
+    if out_path:
+        Path(out_path).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {out_path}")
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument("--rounds", type=int, default=2000)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny round counts for CI"
+    )
+    parser.add_argument("--out", default=None, help="JSON artefact path")
+    args = parser.parse_args()
+    rounds = 100 if args.smoke else args.rounds
+    results = run(args.scale, rounds, args.out)
+    # The tentpole's acceptance bar: repeated views must be >= 5x faster.
+    ext3a = results["mixes"]["ext3a_repeated_view"]
+    if ext3a["speedup"] < 5.0:
+        print(f"FAIL: EXT3a speedup {ext3a['speedup']}x < 5x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,19 @@ __all__ = ["GridIndex", "STRtree", "brute_force_within_distance"]
 T = TypeVar("T", bound=Hashable)
 
 
+def _radius_margin(center: Point, radius: float) -> float:
+    """Float-safety margin for radius queries.
+
+    The exact distance test rounds: a geometry whose true distance is a
+    hair *over* ``radius`` can still compute as ``<= radius`` (e.g. a
+    point at ``-5e-151`` probed from ``(1, 0)`` with radius ``1``).  The
+    envelope pre-filters must therefore be slightly *looser* than the
+    exact test, or the indexes drop items the brute-force scan keeps.
+    Over-inclusion is harmless — the exact test decides.
+    """
+    return 1e-9 * (abs(center.x) + abs(center.y) + radius)
+
+
 def brute_force_within_distance(
     items: Iterable[tuple[Geometry, T]], center: Point, radius: float
 ) -> list[T]:
@@ -103,7 +116,9 @@ class GridIndex(Generic[T]):
 
         if radius < 0:
             raise GeometryError("radius must be non-negative")
-        probe = Envelope(center.x, center.y, center.x, center.y).expanded(radius)
+        probe = Envelope(center.x, center.y, center.x, center.y).expanded(
+            radius + _radius_margin(center, radius)
+        )
         seen: set[int] = set()
         out: list[T] = []
         for key in self._keys_for(probe):
@@ -224,11 +239,12 @@ class STRtree(Generic[T]):
         if radius < 0:
             raise GeometryError("radius must be non-negative")
         probe = Envelope(center.x, center.y, center.x, center.y)
+        cutoff = radius + _radius_margin(center, radius)
         out: list[T] = []
         stack = [self.root]
         while stack:
             node = stack.pop()
-            if node.envelope.distance(probe) > radius:
+            if node.envelope.distance(probe) > cutoff:
                 continue
             if node.is_leaf:
                 for idx in node.entries:

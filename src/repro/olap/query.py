@@ -23,6 +23,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.errors import QueryError
 from repro.geomd.schema import GeoMDSchema
 from repro.geometry import Geometry, PlanarMetric, Metric
+from repro.geometry.algorithms import EPS as _EPS
 from repro.geometry import contains as g_contains
 from repro.geometry import crosses as g_crosses
 from repro.geometry import disjoint as g_disjoint
@@ -328,6 +329,138 @@ def _target_geometries(star: StarSchema, target: LayerRef | Geometry) -> list[Ge
     return [target]
 
 
+def _spatial_fast_path_applicable(flt: SpatialFilter, metric: Metric) -> bool:
+    """Whether the envelope pre-filter is sound for this filter.
+
+    Envelope distances are planar lower bounds of geometry distances, so
+    for ``DISTANCE`` the pre-filter is only valid under a planar metric
+    and for upper-bound comparisons (``<`` / ``<=``), where "envelopes
+    farther than the threshold" soundly excludes a member.  All boolean
+    relations imply (or are implied by) envelope intersection.
+    """
+    if flt.relation is not SpatialRelation.DISTANCE:
+        return True
+    return flt.op in (ComparisonOp.LT, ComparisonOp.LE) and isinstance(
+        metric, PlanarMetric
+    )
+
+
+def _candidate_probe(env, threshold: float = 0.0):
+    """Loosen an envelope for candidate queries.
+
+    The exact predicates are tolerance-based (they pre-check
+    ``envelope.expanded(EPS)``) and the exact distance computation
+    rounds, so the index probe must be *at least* as permissive as the
+    exact tests or the fast path would drop members the scan keeps.
+    Over-inclusion is harmless — the exact tests decide.
+    """
+    scale = max(
+        abs(env.min_x), abs(env.min_y), abs(env.max_x), abs(env.max_y), 1.0
+    )
+    return env.expanded(threshold + _EPS + 1e-9 * (scale + threshold))
+
+
+def _spatial_matching_with_index(
+    star: StarSchema,
+    flt: SpatialFilter,
+    metric: Metric,
+    dimension: str,
+    level: str,
+    targets: list[Geometry],
+) -> set[str]:
+    """Member keys matching ``flt``, pre-filtered through the star's
+    cached :class:`~repro.geometry.index.GridIndex` envelopes.
+
+    Two orientations, chosen by which side is smaller: usually targets
+    are few (layer features, literal geometries), so each target's
+    envelope queries the member index (:meth:`StarSchema.level_grid_index`)
+    and only surviving candidates get exact tests; when a layer has more
+    features than the level has members, each member instead queries the
+    layer's feature index (:meth:`StarSchema.layer_grid_index`).
+    """
+    cached = star.level_grid_index(dimension, level)
+    if cached is None:
+        return set()  # no member of the level carries a geometry yet
+    index, geometry_of = cached
+    if isinstance(flt.target, LayerRef) and len(targets) > len(geometry_of):
+        layer_cached = star.layer_grid_index(flt.target.name)
+        if layer_cached is not None:
+            return _match_members_against_layer_index(
+                flt, metric, geometry_of, *layer_cached
+            )
+    matching: set[str] = set()
+    if flt.relation is SpatialRelation.DISTANCE:
+        assert flt.op is not None and flt.threshold is not None
+        for target in targets:
+            probe = _candidate_probe(target.envelope, flt.threshold)
+            for key in index.query_envelope(probe):
+                if key in matching:
+                    continue
+                if flt.op.apply(
+                    metric.distance(geometry_of[key], target), flt.threshold
+                ):
+                    matching.add(key)
+        return matching
+    predicate = _relation_predicate(flt.relation)
+    if flt.relation is SpatialRelation.DISJOINT:
+        # A member whose (loosened) envelope intersects no target
+        # envelope is geometrically disjoint from every target; only
+        # envelope-level candidates need the exact all-targets test.
+        candidates: set[str] = set()
+        for target in targets:
+            candidates.update(index.query_envelope(_candidate_probe(target.envelope)))
+        matching = set(geometry_of)
+        for key in candidates:
+            if not all(predicate(geometry_of[key], t) for t in targets):
+                matching.discard(key)
+        return matching
+    for target in targets:
+        for key in index.query_envelope(_candidate_probe(target.envelope)):
+            if key in matching:
+                continue
+            if predicate(geometry_of[key], target):
+                matching.add(key)
+    return matching
+
+
+def _match_members_against_layer_index(
+    flt: SpatialFilter,
+    metric: Metric,
+    geometry_of: Mapping[str, Geometry],
+    target_index,
+    target_geoms: list[Geometry],
+) -> set[str]:
+    """The member-iterating orientation: each member's envelope queries
+    the layer's feature grid for candidate targets."""
+    matching: set[str] = set()
+    if flt.relation is SpatialRelation.DISTANCE:
+        assert flt.op is not None and flt.threshold is not None
+        for key, geometry in geometry_of.items():
+            probe = _candidate_probe(geometry.envelope, flt.threshold)
+            if any(
+                flt.op.apply(
+                    metric.distance(geometry, target_geoms[i]), flt.threshold
+                )
+                for i in target_index.query_envelope(probe)
+            ):
+                matching.add(key)
+        return matching
+    predicate = _relation_predicate(flt.relation)
+    for key, geometry in geometry_of.items():
+        candidates = target_index.query_envelope(
+            _candidate_probe(geometry.envelope)
+        )
+        if flt.relation is SpatialRelation.DISJOINT:
+            # Non-candidate features are envelope-separated, hence
+            # disjoint; the member survives iff it is disjoint from
+            # every envelope-level candidate too.
+            if all(predicate(geometry, target_geoms[i]) for i in candidates):
+                matching.add(key)
+        elif any(predicate(geometry, target_geoms[i]) for i in candidates):
+            matching.add(key)
+    return matching
+
+
 def _allowed_keys_for_spatial_filter(
     star: StarSchema, flt: SpatialFilter, metric: Metric
 ) -> set[str]:
@@ -346,26 +479,31 @@ def _allowed_keys_for_spatial_filter(
         )
     targets = _target_geometries(star, flt.target)
     table = star.dimension_table(flt.ref.dimension)
-    matching: set[str] = set()
-    for member in table.members(level):
-        geometry = member.geometry
-        if geometry is None:
-            continue
-        if flt.relation is SpatialRelation.DISTANCE:
-            if not targets:
+    if star.use_indexes and targets and _spatial_fast_path_applicable(flt, metric):
+        matching = _spatial_matching_with_index(
+            star, flt, metric, flt.ref.dimension, level, targets
+        )
+    else:
+        matching = set()
+        for member in table.members(level):
+            geometry = member.geometry
+            if geometry is None:
                 continue
-            assert flt.op is not None and flt.threshold is not None
-            min_d = min(metric.distance(geometry, t) for t in targets)
-            if flt.op.apply(min_d, flt.threshold):
-                matching.add(member.key)
-        else:
-            predicate = _relation_predicate(flt.relation)
-            if flt.relation is SpatialRelation.DISJOINT:
-                # Disjoint from the whole target set, not from any one part.
-                if all(predicate(geometry, t) for t in targets):
+            if flt.relation is SpatialRelation.DISTANCE:
+                if not targets:
+                    continue
+                assert flt.op is not None and flt.threshold is not None
+                min_d = min(metric.distance(geometry, t) for t in targets)
+                if flt.op.apply(min_d, flt.threshold):
                     matching.add(member.key)
-            elif any(predicate(geometry, t) for t in targets):
-                matching.add(member.key)
+            else:
+                predicate = _relation_predicate(flt.relation)
+                if flt.relation is SpatialRelation.DISJOINT:
+                    # Disjoint from the whole target set, not from any one part.
+                    if all(predicate(geometry, t) for t in targets):
+                        matching.add(member.key)
+                elif any(predicate(geometry, t) for t in targets):
+                    matching.add(member.key)
     if level == table.dimension.leaf:
         return matching
     return star.leaf_keys_rolled_to(flt.ref.dimension, level, matching)

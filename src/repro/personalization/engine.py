@@ -69,10 +69,29 @@ class RulePhase(enum.Enum):
 
 @dataclass
 class RegisteredRule:
+    """One rule in the repository.
+
+    For acquisition rules the canonical prints of the declared
+    ``SpatialSelection(target, condition)`` pattern are computed once at
+    registration (``event_target`` / ``event_condition``), so matching a
+    reported selection is two string compares per rule instead of a
+    re-print of every rule's AST on every report.
+    """
+
     rule: Rule
     source: str
     phase: RulePhase
     enabled: bool = True
+    event_target: str | None = None
+    event_condition: str | None = None
+
+    def __post_init__(self) -> None:
+        event = self.rule.event
+        if isinstance(event, SpatialSelectionEvent):
+            if self.event_target is None:
+                self.event_target = str(event.target)
+            if self.event_condition is None:
+                self.event_condition = print_expr(event.condition)
 
 
 def classify_rule(rule: Rule) -> RulePhase:
@@ -91,24 +110,40 @@ class PersonalizedView:
     ``fact_rows`` is the pre-computed spatial selection: "when the OLAP
     session begins the spatial analysis have been done even if the
     analysis tool does not support spatial data processing."
+
+    ``fact`` names the fact table the rows belong to; sessions over
+    multi-fact stars materialize one view per fact
+    (``session.view(fact=...)``).
     """
 
     star: StarSchema
     schema: GeoMDSchema
     selection: SelectionSet
     fact_rows: list[int]
+    fact: str | None = None
 
     def cube(self, fact: str | None = None) -> Cube:
-        """A cube restricted to the personalized fact rows."""
-        restriction = None if self.selection.is_empty else self.fact_rows
-        return Cube(self.star, fact).with_selection(restriction)
+        """A cube restricted to the personalized fact rows.
+
+        ``fact_rows`` are row ids of *this view's* fact table; asking for
+        a different fact recomputes the selection for that table instead
+        of misapplying foreign row ids.
+        """
+        fact_name = fact or self.fact
+        if self.selection.is_empty:
+            restriction = None
+        elif fact_name == self.fact:
+            restriction = self.fact_rows
+        else:
+            restriction = self.selection.fact_row_ids(self.star, fact_name)
+        return Cube(self.star, fact_name).with_selection(restriction)
 
     @property
     def is_restricted(self) -> bool:
         return not self.selection.is_empty
 
     def stats(self) -> dict[str, int]:
-        total = len(self.star.fact_table())
+        total = len(self.star.fact_table(self.fact))
         kept = len(self.fact_rows) if self.is_restricted else total
         return {
             "fact_rows_total": total,
@@ -121,31 +156,73 @@ class PersonalizedView:
 
 @dataclass
 class PersonalizedSession:
-    """One decision maker's analysis session."""
+    """One decision maker's analysis session.
+
+    ``view()`` is memoized per fact on the pair ``(selection generation,
+    star generation)``: the steady-state request path ("when the OLAP
+    session begins the spatial analysis have been done") serves the
+    materialized view without re-scanning the fact table, and any
+    selection change (acquisition rules, instance re-runs) or star
+    mutation (schema rules, data loads) makes the stamp differ, forcing a
+    rebuild.  The memo is per-session state — it can never leak across
+    sessions or tenants.  Set ``engine.enable_caches = False`` to rebuild
+    on every call (transparency switch).
+    """
 
     engine: "PersonalizationEngine"
     profile: UserProfile
     context: RuntimeContext
     outcomes: list[RuleOutcome] = field(default_factory=list)
     closed: bool = False
+    #: fact name -> ((selection generation, star generation), view)
+    _view_memo: dict[str | None, tuple[tuple[int, int], PersonalizedView]] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def selection(self) -> SelectionSet:
         return self.context.selection
 
-    def view(self) -> PersonalizedView:
+    def _resolve_fact(self, fact: str | None) -> str | None:
+        """Normalize the fact argument (explicit name, or the only fact)."""
+        star = self.context.star
+        if fact is not None:
+            star.fact_table(fact)  # existence check
+            return fact
+        facts = star.schema.facts
+        if len(facts) == 1:
+            return next(iter(facts))
+        raise PersonalizationError(
+            f"star schema has {len(facts)} fact tables; call "
+            f"view(fact=...) with one of {sorted(facts)}"
+        )
+
+    def view(self, fact: str | None = None) -> PersonalizedView:
         """Materialize the personalized view for downstream BI tools."""
+        fact_name = self._resolve_fact(fact)
+        stamp = (self.context.selection.generation, self.context.star.generation)
+        if self.engine.enable_caches:
+            memoized = self._view_memo.get(fact_name)
+            if memoized is not None and memoized[0] == stamp:
+                return memoized[1]
+        view = self._build_view(fact_name)
+        if self.engine.enable_caches:
+            self._view_memo[fact_name] = (stamp, view)
+        return view
+
+    def _build_view(self, fact_name: str | None) -> PersonalizedView:
         selection = self.context.selection
         fact_rows = (
-            selection.fact_row_ids(self.context.star)
+            selection.fact_row_ids(self.context.star, fact_name)
             if not selection.is_empty
-            else list(self.context.star.fact_table().row_ids())
+            else list(self.context.star.fact_table(fact_name).row_ids())
         )
         return PersonalizedView(
             star=self.context.star,
             schema=self.context.geomd_schema,
             selection=selection,
             fact_rows=fact_rows,
+            fact=fact_name,
         )
 
     def record_spatial_selection(self, target: str, condition: str) -> list[RuleOutcome]:
@@ -195,6 +272,7 @@ class PersonalizationEngine:
         snap_tolerance: float = 1.0,
         validate_rules: bool = True,
         session_factory: Callable[..., PersonalizedSession] | None = None,
+        enable_caches: bool = True,
     ) -> None:
         schema = star.schema
         if not isinstance(schema, GeoMDSchema):
@@ -210,6 +288,11 @@ class PersonalizationEngine:
         self.metric = metric or PlanarMetric()
         self.snap_tolerance = snap_tolerance
         self.validate_rules = validate_rules
+        #: Master switch for the generation-keyed view memo (sessions read
+        #: it on every ``view()`` call, so flipping it at runtime takes
+        #: effect immediately — the benchmark harness uses this to prove
+        #: cached and uncached responses are identical).
+        self.enable_caches = enable_caches
         self.rules: list[RegisteredRule] = []
         #: Hook points for service layers: a custom session class and
         #: observers fired after SessionStart rules have run (used e.g.
@@ -376,12 +459,13 @@ class PersonalizationEngine:
         for registered in self.rules:
             if not registered.enabled:
                 continue
-            event = registered.rule.event
-            if not isinstance(event, SpatialSelectionEvent):
+            if not isinstance(registered.rule.event, SpatialSelectionEvent):
                 continue
-            if str(event.target) != reported_target:
+            # Compare against the patterns canonicalized at registration;
+            # only the *reported* target/condition is parsed per call.
+            if registered.event_target != reported_target:
                 continue
-            if print_expr(event.condition) != reported_condition:
+            if registered.event_condition != reported_condition:
                 continue
             # Same ECA-safe path as the other phases: a raising
             # acquisition rule records an errored outcome instead of

@@ -103,17 +103,34 @@ class SelectionSet:
     also add the cities not near enough but with a good train
     connection").  Distinct dimensions still compose as intersection, each
     restricting its own axis.
+
+    Each set carries a process-unique :attr:`uid` and a monotonic
+    :attr:`generation` bumped whenever the selection actually grows.
+    ``(uid, generation)`` is the cache identity downstream memos (the
+    personalized-view memo, the service query cache) key on: the uid keeps
+    one session's cache entries from ever answering for another session,
+    and the generation invalidates them the moment the selection changes.
     """
+
+    _uid_source = itertools.count(1)
 
     def __init__(self) -> None:
         self.members: dict[tuple[str, str], set[str]] = {}
         self.features: dict[str, set[str]] = {}
+        self.uid = next(SelectionSet._uid_source)
+        self.generation = 0
 
     def add_member(self, dimension: str, level: str, key: str) -> None:
-        self.members.setdefault((dimension, level), set()).add(key)
+        keys = self.members.setdefault((dimension, level), set())
+        if key not in keys:
+            keys.add(key)
+            self.generation += 1
 
     def add_feature(self, layer: str, name: str) -> None:
-        self.features.setdefault(layer, set()).add(name)
+        names = self.features.setdefault(layer, set())
+        if name not in names:
+            names.add(name)
+            self.generation += 1
 
     @property
     def is_empty(self) -> bool:
@@ -135,7 +152,12 @@ class SelectionSet:
         return out
 
     def fact_row_ids(self, star: StarSchema, fact: str | None = None) -> list[int]:
-        """Fact rows surviving the member selections."""
+        """Fact rows surviving the member selections (ascending row ids).
+
+        With :attr:`StarSchema.use_indexes` on, each dimension's allowed
+        keys are resolved through the fact table's posting lists and the
+        per-dimension row sets intersected — no full-column scan.
+        """
         fact_table = star.fact_table(fact)
         allowed = self.allowed_leaf_keys(star)
         relevant = {
@@ -145,6 +167,18 @@ class SelectionSet:
         }
         if not relevant:
             return list(fact_table.row_ids())
+        if star.use_indexes:
+            surviving: set[int] | None = None
+            for dim, keys in relevant.items():
+                postings = fact_table.key_postings(dim)
+                rows: set[int] = set()
+                for key in keys:
+                    rows.update(postings.get(key, ()))
+                surviving = rows if surviving is None else surviving & rows
+                if not surviving:
+                    return []
+            assert surviving is not None
+            return sorted(surviving)
         columns = {dim: fact_table.key_column(dim) for dim in relevant}
         return [
             row_id
@@ -307,7 +341,10 @@ class Evaluator:
                 f"BecomeSpatial target {stmt.element} must name a level"
             )
         level_ref = f"{resolved.dimension.name}.{resolved.level.name}"
+        newly_spatial = level_ref not in schema.spatial_levels
         schema.become_spatial(level_ref, stmt.geometric_type.value)
+        if newly_spatial:
+            self.context.star.note_schema_change()
         outcome.levels_spatialized.append(level_ref)
         outcome.fired_actions += 1
         # Backfill member geometries from the external source.
@@ -321,6 +358,7 @@ class Evaluator:
             return
         table = self.context.star.dimension_table(resolved.dimension.name)
         declared = stmt.geometric_type.value
+        backfilled = False
         for member in table.members(resolved.level.name):
             geometry = geometries.get(member.key)
             if geometry is None:
@@ -331,7 +369,17 @@ class Evaluator:
                     f"{geometry.geom_type}, but {level_ref} was declared "
                     f"{declared.name}"
                 )
-            member.attributes[GEOMETRY_ATTRIBUTE] = geometry
+            existing = member.attributes.get(GEOMETRY_ATTRIBUTE)
+            if existing is not geometry and existing != geometry:
+                member.attributes[GEOMETRY_ATTRIBUTE] = geometry
+                backfilled = True
+        # The backfill mutates members in place, bypassing the star's
+        # insert hooks — invalidate its member-derived caches explicitly
+        # (but not when an idempotent re-run wrote nothing new, so one
+        # session's SessionStart cannot evict every other session's
+        # caches).
+        if backfilled:
+            self.context.star.note_member_change(resolved.dimension.name)
 
     def _exec_add_layer(self, stmt: AddLayerAction, outcome: RuleOutcome) -> None:
         name = stmt.layer_name.value
@@ -347,6 +395,8 @@ class Evaluator:
             return
         for feature_name, geometry, attributes in features:
             table.add_feature(feature_name, geometry, attributes)
+        if features:
+            self.context.star.note_feature_change(name)
 
     # -- expression evaluation ------------------------------------------------------
 

@@ -24,7 +24,7 @@ from repro.service.dtos import (
     SelectionRequest,
     SelectionResult,
 )
-from repro.service.facade import PersonalizationService
+from repro.service.facade import CellSetPayload, PersonalizationService
 from repro.service.registry import Datamart, DatamartRegistry
 from repro.service.sessions import (
     InMemorySessionStore,
@@ -33,6 +33,7 @@ from repro.service.sessions import (
 )
 
 __all__ = [
+    "CellSetPayload",
     "Datamart",
     "DatamartInfo",
     "DatamartRegistry",

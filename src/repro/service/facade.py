@@ -13,12 +13,20 @@ the uniform error envelope.  The service owns:
   thread-safety);
 * the analysis operations themselves (profile, schema, view, GeoMDQL
   query, spatial-selection events, instance-rule rerun, layer export)
-  with ``limit``/``offset`` pagination on list-shaped results.
+  with ``limit``/``offset`` pagination on list-shaped results;
+* a small LRU cache over query *results* keyed on ``(datamart,
+  stripped query text, selection uid+generation, star generation)`` —
+  the generation stamps implement the same invalidation protocol as the
+  engine's view memo (any selection change or star mutation is a miss),
+  and the selection uid makes one session's entries unreachable from any
+  other session or tenant.  ``query_cache_size=0`` disables it.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
+from typing import NamedTuple
 
 from repro.errors import BadRequestError, PRMLError, QueryError, UnauthorizedError
 from repro.olap.gmdql import parse_query
@@ -40,7 +48,21 @@ from repro.service.dtos import (
 from repro.service.registry import Datamart, DatamartRegistry
 from repro.service.sessions import InMemorySessionStore, SessionRecord, SessionStore
 
-__all__ = ["PersonalizationService"]
+__all__ = ["PersonalizationService", "CellSetPayload"]
+
+
+class CellSetPayload(NamedTuple):
+    """Pre-pagination query result, the unit the LRU query cache stores.
+
+    Pagination is applied per request on top of a cached payload, so two
+    requests differing only in ``limit``/``offset`` share one entry.
+    """
+
+    axes: list[str]
+    labels: list
+    rows: list[list]
+    fact_rows_scanned: int
+    fact_rows_matched: int
 
 
 class PersonalizationService:
@@ -50,6 +72,7 @@ class PersonalizationService:
         self,
         registry: DatamartRegistry,
         session_store: SessionStore | None = None,
+        query_cache_size: int = 256,
     ) -> None:
         self.registry = registry
         # `is not None` matters: an empty store has __len__ == 0 and is falsy.
@@ -63,6 +86,13 @@ class PersonalizationService:
         #: engine and same-token requests per session record.
         self._lock = threading.Lock()
         self._engine_locks: dict[int, threading.Lock] = {}
+        if query_cache_size < 0:
+            raise ValueError("query_cache_size must be >= 0")
+        self.query_cache_size = query_cache_size
+        self._query_cache: OrderedDict[tuple, CellSetPayload] = OrderedDict()
+        self._query_cache_lock = threading.Lock()
+        self.query_cache_hits = 0
+        self.query_cache_misses = 0
 
     # -- session lifecycle --------------------------------------------------------
 
@@ -83,7 +113,7 @@ class PersonalizationService:
             user=request.user,
             datamart=datamart.name,
             rules_fired=[o.rule_name for o in session.outcomes],
-            view=session.view().stats(),
+            view=self._view_stats(session),
         )
 
     def logout(self, token: str | None) -> LogoutResult:
@@ -105,38 +135,106 @@ class PersonalizationService:
     def schema(self, token: str | None) -> dict:
         record = self._record(token)
         with record.lock:
-            return record.session.view().schema.to_dict()
+            # The personalized schema is the session context's GeoMD
+            # schema (the view only carries a reference to it) — no need
+            # to materialize fact rows, and multi-fact stars stay valid.
+            return record.session.context.geomd_schema.to_dict()
 
     def view_stats(self, token: str | None) -> dict:
         record = self._record(token)
         with record.lock:
-            return record.session.view().stats()
+            return self._view_stats(record.session)
+
+    @staticmethod
+    def _view_stats(session) -> dict:
+        """Stats of the materialized view(s).
+
+        Single-fact stars (the common case) keep the flat shape; a
+        multi-fact star answers with one stats block per fact under
+        ``"facts"`` since there is no single unambiguous view.
+        """
+        facts = session.context.star.schema.facts
+        if len(facts) == 1:
+            return session.view().stats()
+        return {
+            "facts": {name: session.view(name).stats() for name in sorted(facts)}
+        }
 
     def query(self, token: str | None, request: QueryRequest) -> QueryResult:
         record = self._record(token)
         with record.lock:
             session = record.session
-            view = session.view()
+            cache_key = None
+            if self.query_cache_size > 0:
+                selection = session.selection
+                cache_key = (
+                    record.datamart,
+                    # Stripped query text only: internal whitespace can be
+                    # significant (string literals), so it is preserved.
+                    # The text fully determines the fact, so a hit skips
+                    # the parse entirely; malformed queries never populate
+                    # the cache and keep raising on every request.
+                    request.q.strip(),
+                    selection.uid,
+                    selection.generation,
+                    session.context.star.generation,
+                )
+                payload = self._query_cache_get(cache_key)
+                if payload is not None:
+                    return self._paged_result(payload, request)
             try:
-                query = parse_query(request.q, view.schema)
+                query = parse_query(request.q, session.context.geomd_schema)
             except QueryError as exc:
                 raise BadRequestError(
                     str(exc), code="query_error", detail={"q": request.q}
                 ) from exc
-            selection = view.fact_rows if view.is_restricted else None
+            # The parsed query names the fact, so multi-fact stars
+            # materialize the right per-fact view.
+            view = session.view(query.fact)
+            row_selection = view.fact_rows if view.is_restricted else None
             cell_set = execute(
-                view.star, query, selection, session.engine.metric
+                view.star, query, row_selection, session.engine.metric
             )
-        all_rows = [list(row) for row in cell_set.to_rows()]
-        rows, page = request.page.apply(all_rows)
+            payload = CellSetPayload(
+                axes=[str(a) for a in cell_set.axes],
+                labels=list(cell_set.labels),
+                rows=[list(row) for row in cell_set.to_rows()],
+                fact_rows_scanned=cell_set.fact_rows_scanned,
+                fact_rows_matched=cell_set.fact_rows_matched,
+            )
+            if cache_key is not None:
+                self._query_cache_put(cache_key, payload)
+        return self._paged_result(payload, request)
+
+    def _paged_result(
+        self, payload: CellSetPayload, request: QueryRequest
+    ) -> QueryResult:
+        rows, page = request.page.apply(payload.rows)
         return QueryResult(
-            axes=[str(a) for a in cell_set.axes],
-            labels=list(cell_set.labels),
-            rows=rows,
-            fact_rows_scanned=cell_set.fact_rows_scanned,
-            fact_rows_matched=cell_set.fact_rows_matched,
+            axes=list(payload.axes),
+            labels=list(payload.labels),
+            rows=[list(row) for row in rows],
+            fact_rows_scanned=payload.fact_rows_scanned,
+            fact_rows_matched=payload.fact_rows_matched,
             page=page,
         )
+
+    def _query_cache_get(self, key: tuple) -> CellSetPayload | None:
+        with self._query_cache_lock:
+            payload = self._query_cache.get(key)
+            if payload is None:
+                self.query_cache_misses += 1
+                return None
+            self._query_cache.move_to_end(key)
+            self.query_cache_hits += 1
+            return payload
+
+    def _query_cache_put(self, key: tuple, payload: CellSetPayload) -> None:
+        with self._query_cache_lock:
+            self._query_cache[key] = payload
+            self._query_cache.move_to_end(key)
+            while len(self._query_cache) > self.query_cache_size:
+                self._query_cache.popitem(last=False)
 
     def record_selection(
         self, token: str | None, request: SelectionRequest
@@ -167,7 +265,7 @@ class PersonalizationService:
             outcomes = record.session.rerun_instance_rules()
             return RerunResult(
                 rules_fired=[o.rule_name for o in outcomes],
-                view=record.session.view().stats(),
+                view=self._view_stats(record.session),
             )
 
     def layer(
@@ -176,7 +274,7 @@ class PersonalizationService:
         record = self._record(token)
         with record.lock:
             session = record.session
-            schema = session.view().schema
+            schema = session.context.geomd_schema
             if name not in schema.layers:
                 from repro.errors import NotFoundError
 

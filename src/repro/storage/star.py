@@ -6,19 +6,42 @@ per dimension, one :class:`~repro.storage.tables.FactTable` per fact and one
 referential integrity (fact keys must reference leaf members) and geometry
 conformance for spatial levels, and provides the roll-up caches the OLAP
 engine relies on.
+
+Generation-based invalidation
+-----------------------------
+
+The star is the shared substrate of every cache in the hot request path
+(memoized personalized views, the service query cache, the lazy indexes
+below), so it carries a monotonically-increasing :attr:`~StarSchema.generation`
+counter.  Every mutation — member/fact/feature inserts, layer-table
+creation, schema personalization reported through
+:meth:`note_schema_change` — bumps it; downstream caches store the
+generation they were built at and treat any difference as a miss.  The
+lazy structures owned here (the inverted roll-up index, the per-layer and
+per-level :class:`~repro.geometry.index.GridIndex` envelopes) are instead
+invalidated *in place* by the same hooks, so they can never serve stale
+data.  Setting :attr:`~StarSchema.use_indexes` to ``False`` routes every
+consumer back to the plain scans (used by the benchmark harness to prove
+the fast paths are transparent).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Mapping
 
 from repro.errors import StorageError
 from repro.geomd.schema import GeoMDSchema
 from repro.geometry import Geometry
+from repro.geometry.index import GridIndex
 from repro.mdm.model import MDSchema
 from repro.storage.tables import DimensionTable, FactTable, Feature, LayerTable, Member
 
 __all__ = ["StarSchema"]
+
+#: Sentinel distinguishing "not cached yet" from a cached ``None``
+#: (an empty layer/level legitimately caches as ``None``).
+_UNBUILT = object()
 
 
 class StarSchema:
@@ -38,6 +61,60 @@ class StarSchema:
                 self._layers[name] = LayerTable(layer)
         # (dimension, leaf_key, level) -> ancestor member; filled lazily.
         self._rollup_cache: dict[tuple[str, str, str], Member] = {}
+        #: When False, every index-backed fast path falls back to the
+        #: original scans (transparency switch for benchmarks/tests).
+        self.use_indexes: bool = True
+        self._generation = 0
+        # (dimension, level) -> {ancestor key -> leaf keys}; lazy.
+        self._rollup_index: dict[tuple[str, str], dict[str, set[str]]] = {}
+        # layer name -> (GridIndex over feature ids, [geometries]) | None.
+        self._layer_grid: dict[str, object] = {}
+        # (dimension, level) -> (GridIndex over member keys,
+        #                        {member key -> geometry}) | None.
+        self._level_grid: dict[tuple[str, str], object] = {}
+        #: Linearizes lazy index builds against the ``note_*_change``
+        #: invalidation hooks.  The service only serializes requests
+        #: per-session, so two sessions of one tenant can race a build
+        #: against a mutation; without the lock the loser could install
+        #: a permanently stale index.
+        self._cache_lock = threading.Lock()
+
+    # -- cache invalidation ---------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic data version; bumped by every mutation."""
+        return self._generation
+
+    def note_member_change(self, dimension: str) -> None:
+        """Invalidate caches derived from one dimension's members.
+
+        Called on member inserts and on in-place member mutation (the
+        ``BecomeSpatial`` geometry backfill writes member attributes
+        directly).
+        """
+        with self._cache_lock:
+            self._generation += 1
+            for key in [k for k in self._rollup_index if k[0] == dimension]:
+                del self._rollup_index[key]
+            for key in [k for k in self._level_grid if k[0] == dimension]:
+                del self._level_grid[key]
+
+    def note_fact_change(self) -> None:
+        """Record a fact insert (postings update themselves incrementally)."""
+        with self._cache_lock:
+            self._generation += 1
+
+    def note_feature_change(self, layer: str) -> None:
+        """Invalidate caches derived from one layer's features."""
+        with self._cache_lock:
+            self._generation += 1
+            self._layer_grid.pop(layer, None)
+
+    def note_schema_change(self) -> None:
+        """Record a schema mutation (AddLayer / BecomeSpatial)."""
+        with self._cache_lock:
+            self._generation += 1
 
     # -- access ---------------------------------------------------------------
 
@@ -94,6 +171,7 @@ class StarSchema:
         layer = self.schema.layer(name)
         table = LayerTable(layer)
         self._layers[name] = table
+        self.note_schema_change()
         return table
 
     # -- loading ----------------------------------------------------------------
@@ -110,6 +188,7 @@ class StarSchema:
             level, key, attributes, parents
         )
         self._check_member_geometry(dimension, level, member)
+        self.note_member_change(dimension)
         return member
 
     def _check_member_geometry(
@@ -148,7 +227,9 @@ class StarSchema:
                 raise StorageError(
                     f"fact {fact!r}: unknown {dim_name!r} leaf member {key!r}"
                 ) from None
-        return table.insert(coordinates, measures)
+        row_id = table.insert(coordinates, measures)
+        self.note_fact_change()
+        return row_id
 
     def add_feature(
         self,
@@ -157,7 +238,9 @@ class StarSchema:
         geometry: Geometry,
         attributes: Mapping[str, object] | None = None,
     ) -> Feature:
-        return self.layer_table(layer).add_feature(name, geometry, attributes)
+        feature = self.layer_table(layer).add_feature(name, geometry, attributes)
+        self.note_feature_change(layer)
+        return feature
 
     # -- roll-up ------------------------------------------------------------------
 
@@ -173,17 +256,102 @@ class StarSchema:
         self._rollup_cache[cache_key] = ancestor
         return ancestor
 
+    def rollup_index(self, dimension: str, level: str) -> dict[str, set[str]]:
+        """Inverted roll-up map: ``ancestor key at level -> leaf keys``.
+
+        Built lazily from one pass over the leaf members and invalidated
+        by :meth:`note_member_change`; turns roll-up filtering from an
+        O(leaf-members) scan per query into dict lookups.
+        """
+        cache_key = (dimension, level)
+        index = self._rollup_index.get(cache_key)
+        if index is None:
+            table = self.dimension_table(dimension)
+            with self._cache_lock:
+                index = self._rollup_index.get(cache_key)
+                if index is None:
+                    index = {}
+                    for leaf in table.leaf_members():
+                        ancestor = self.rollup_member(dimension, leaf.key, level)
+                        index.setdefault(ancestor.key, set()).add(leaf.key)
+                    self._rollup_index[cache_key] = index
+        return index
+
     def leaf_keys_rolled_to(
         self, dimension: str, level: str, member_keys: Iterable[str]
     ) -> set[str]:
         """Leaf member keys whose ancestor at ``level`` is in ``member_keys``."""
+        if self.use_indexes:
+            index = self.rollup_index(dimension, level)
+            out: set[str] = set()
+            for key in member_keys:
+                out.update(index.get(key, ()))
+            return out
         wanted = set(member_keys)
         table = self.dimension_table(dimension)
-        out: set[str] = set()
+        out = set()
         for leaf in table.leaf_members():
             if self.rollup_member(dimension, leaf.key, level).key in wanted:
                 out.add(leaf.key)
         return out
+
+    # -- lazy spatial indexes -----------------------------------------------------
+
+    def layer_grid_index(
+        self, name: str
+    ) -> tuple[GridIndex, list[Geometry]] | None:
+        """Cached envelope grid over one layer's features, or ``None`` if empty.
+
+        Returns ``(index, geometries)`` where the index items are positions
+        into ``geometries``.  Invalidated by :meth:`note_feature_change`.
+        """
+        cached = self._layer_grid.get(name, _UNBUILT)
+        if cached is _UNBUILT:
+            table = self.layer_table(name)
+            with self._cache_lock:
+                cached = self._layer_grid.get(name, _UNBUILT)
+                if cached is _UNBUILT:
+                    geometries = [f.geometry for f in table.features()]
+                    if geometries:
+                        index = GridIndex(
+                            [(g, i) for i, g in enumerate(geometries)]
+                        )
+                        cached = (index, geometries)
+                    else:
+                        cached = None
+                    self._layer_grid[name] = cached
+        return cached  # type: ignore[return-value]
+
+    def level_grid_index(
+        self, dimension: str, level: str
+    ) -> tuple[GridIndex, dict[str, Geometry]] | None:
+        """Cached envelope grid over a level's geometry-bearing members.
+
+        Returns ``(index, {member key -> geometry})`` (index items are the
+        member keys), or ``None`` when no member of the level carries a
+        geometry yet.  Invalidated by :meth:`note_member_change`.
+        """
+        cache_key = (dimension, level)
+        cached = self._level_grid.get(cache_key, _UNBUILT)
+        if cached is _UNBUILT:
+            table = self.dimension_table(dimension)
+            with self._cache_lock:
+                cached = self._level_grid.get(cache_key, _UNBUILT)
+                if cached is _UNBUILT:
+                    entries: list[tuple[Geometry, str]] = []
+                    for member in table.members(level):
+                        geometry = member.geometry
+                        if geometry is not None:
+                            entries.append((geometry, member.key))
+                    if entries:
+                        cached = (
+                            GridIndex(entries),
+                            {key: geometry for geometry, key in entries},
+                        )
+                    else:
+                        cached = None
+                    self._level_grid[cache_key] = cached
+        return cached  # type: ignore[return-value]
 
     # -- statistics -----------------------------------------------------------------
 

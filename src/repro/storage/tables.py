@@ -10,6 +10,7 @@ features that ``AddLayer`` exposes to the rules.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, Mapping
 
 from repro.errors import StorageError
@@ -190,6 +191,14 @@ class FactTable:
         self._keys: dict[str, list[str]] = {d: [] for d in fact.dimension_names}
         self._measures: dict[str, list[float]] = {m: [] for m in fact.measures}
         self._count = 0
+        #: dimension -> {leaf key -> ascending row ids}; built lazily by
+        #: :meth:`key_postings` and maintained incrementally on insert, so
+        #: a built posting map never goes stale.  ``_lock`` linearizes
+        #: inserts against posting builds: without it a build racing an
+        #: insert from another session's request could install a map
+        #: permanently missing (or double-counting) the new row.
+        self._postings: dict[str, dict[str, list[int]]] = {}
+        self._lock = threading.Lock()
 
     def insert(
         self,
@@ -207,17 +216,21 @@ class FactTable:
                 f"fact {self.fact.name!r} expects measures "
                 f"{sorted(self.fact.measures)}, got {sorted(measures)}"
             )
-        for dim_name in self.fact.dimension_names:
-            self._keys[dim_name].append(coordinates[dim_name])
         for measure_name, value in measures.items():
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 raise StorageError(
                     f"measure {measure_name!r} expects a number, got "
                     f"{type(value).__name__}"
                 )
-            self._measures[measure_name].append(float(value))
-        row_id = self._count
-        self._count += 1
+        with self._lock:
+            for dim_name in self.fact.dimension_names:
+                self._keys[dim_name].append(coordinates[dim_name])
+            for measure_name, value in measures.items():
+                self._measures[measure_name].append(float(value))
+            row_id = self._count
+            self._count += 1
+            for dim_name, postings in self._postings.items():
+                postings.setdefault(coordinates[dim_name], []).append(row_id)
         return row_id
 
     def __len__(self) -> int:
@@ -230,6 +243,26 @@ class FactTable:
             raise StorageError(
                 f"fact {self.fact.name!r} has no dimension {dimension!r}"
             ) from None
+
+    def key_postings(self, dimension: str) -> dict[str, list[int]]:
+        """Inverted key column: ``leaf key -> ascending row ids``.
+
+        Turns per-dimension fact filtering into posting-list unions and
+        intersections instead of full-column scans.  Built on first use;
+        :meth:`insert` appends to a built map, so callers may hold on to
+        the returned mapping only within one request.
+        """
+        postings = self._postings.get(dimension)
+        if postings is None:
+            column = self.key_column(dimension)  # existence check
+            with self._lock:
+                postings = self._postings.get(dimension)
+                if postings is None:
+                    postings = {}
+                    for row_id, key in enumerate(column):
+                        postings.setdefault(key, []).append(row_id)
+                    self._postings[dimension] = postings
+        return postings
 
     def measure_column(self, measure: str) -> list[float]:
         try:

@@ -50,3 +50,37 @@ def engine(world, star, user_schema):
     )
     eng.add_rules(ALL_PAPER_RULES.values())
     return eng
+
+
+@pytest.fixture()
+def dual_fact_star():
+    """A minimal two-fact star (Sales + Returns over Product) for
+    multi-fact view/query tests."""
+    from repro.geomd import GeoMDSchema
+    from repro.mdm import Dimension, Fact, Hierarchy, Level
+    from repro.mdm.model import Measure
+    from repro.storage import StarSchema
+    from repro.uml.core import INTEGER
+
+    product = Dimension(
+        "Product",
+        [Level("Product"), Level("Family")],
+        [Hierarchy("h", ["Product", "Family"])],
+        leaf="Product",
+    )
+    schema = GeoMDSchema(
+        "Dual",
+        [product],
+        [
+            Fact("Sales", ["Product"], [Measure("Units", INTEGER)]),
+            Fact("Returns", ["Product"], [Measure("Count", INTEGER)]),
+        ],
+    )
+    star = StarSchema(schema)
+    star.add_member("Product", "Family", "Food")
+    star.add_member("Product", "Product", "P1", parents={"Family": "Food"})
+    star.add_member("Product", "Product", "P2", parents={"Family": "Food"})
+    star.insert_fact("Sales", {"Product": "P1"}, {"Units": 3})
+    star.insert_fact("Sales", {"Product": "P2"}, {"Units": 5})
+    star.insert_fact("Returns", {"Product": "P2"}, {"Count": 1})
+    return star

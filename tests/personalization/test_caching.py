@@ -1,0 +1,185 @@
+"""Tests for the generation-keyed view memo and its invalidation protocol.
+
+The contract under test: ``session.view()`` may serve a memoized
+:class:`PersonalizedView` only while *neither* the session's selection
+generation *nor* the star generation has moved; any selection growth
+(acquisition rules, instance re-runs) or star mutation (member/fact/
+feature inserts, schema personalization) must produce a rebuilt view —
+and with ``engine.enable_caches = False`` the responses must be
+identical, just rebuilt every time.
+"""
+
+import pytest
+
+from repro.data import build_regional_manager_profile
+from repro.errors import PersonalizationError
+from repro.geometry import Point
+
+WIDEN_CONDITION = (
+    "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km"
+)
+
+
+@pytest.fixture()
+def session(engine, profile, world):
+    return engine.start_session(profile, location=world.stores[0].location)
+
+
+class TestViewMemo:
+    def test_steady_state_serves_memoized_view(self, session):
+        first = session.view()
+        second = session.view()
+        assert second is first
+
+    def test_memo_disabled_rebuilds_identical_views(self, engine, session):
+        engine.enable_caches = False
+        first = session.view()
+        second = session.view()
+        assert second is not first
+        assert second.fact_rows == first.fact_rows
+
+    def test_cached_and_uncached_views_agree(self, engine, session):
+        cached = session.view()
+        engine.enable_caches = False
+        uncached = session.view()
+        assert uncached.fact_rows == cached.fact_rows
+        assert uncached.stats() == cached.stats()
+
+    def test_memo_not_shared_across_sessions(self, engine, user_schema, world):
+        first = engine.start_session(
+            build_regional_manager_profile(user_schema),
+            location=world.stores[0].location,
+        )
+        second = engine.start_session(
+            build_regional_manager_profile(user_schema, name="Bo Li"),
+            location=world.stores[0].location,
+        )
+        assert first.view() is not second.view()
+        assert first.selection.uid != second.selection.uid
+
+    def test_selection_generation_counts_only_growth(self, session):
+        selection = session.selection
+        (dimension, level), keys = next(iter(selection.members.items()))
+        key = next(iter(keys))
+        before = selection.generation
+        selection.add_member(dimension, level, key)  # already selected
+        assert selection.generation == before
+        selection.add_member(dimension, level, "never-seen-before")
+        assert selection.generation == before + 1
+
+
+class TestInvalidation:
+    def test_selection_report_and_rerun_refresh_view(self, session):
+        stale = session.view()
+        for _ in range(4):  # interest threshold is 3
+            session.record_spatial_selection("GeoMD.Store.City", WIDEN_CONDITION)
+        session.rerun_instance_rules()
+        fresh = session.view()
+        assert fresh is not stale
+        assert len(fresh.fact_rows) > len(stale.fact_rows)
+
+    def test_manual_selection_growth_refreshes_view(self, session):
+        stale = session.view()
+        column = session.context.star.fact_table().key_column("Store")
+        unselected = next(
+            key
+            for key in column
+            if key not in session.selection.members[("Store", "Store")]
+        )
+        session.selection.add_member("Store", "Store", unselected)
+        fresh = session.view()
+        assert fresh is not stale
+        assert len(fresh.fact_rows) > len(stale.fact_rows)
+
+    def test_fact_insert_refreshes_view(self, session):
+        star = session.context.star
+        stale = session.view()
+        fact_table = star.fact_table()
+        row = fact_table.row(stale.fact_rows[0])
+        coordinates = {d: row[d] for d in fact_table.fact.dimension_names}
+        measures = {m: row[m] for m in fact_table.fact.measures}
+        star.insert_fact(fact_table.fact.name, coordinates, measures)
+        fresh = session.view()
+        assert fresh is not stale
+        assert len(fresh.fact_rows) == len(stale.fact_rows) + 1
+
+    def test_feature_insert_refreshes_view(self, session):
+        star = session.context.star
+        stale = session.view()
+        star.add_feature("Airport", "Test Field", Point(1.0, 2.0))
+        fresh = session.view()
+        assert fresh is not stale
+        assert fresh.fact_rows == stale.fact_rows
+
+    def test_member_insert_refreshes_view(self, session):
+        star = session.context.star
+        stale = session.view()
+        star.add_member("Product", "Family", "Exotic")
+        fresh = session.view()
+        assert fresh is not stale
+
+    def test_layer_table_creation_refreshes_view(self, session):
+        star = session.context.star
+        schema = session.context.geomd_schema
+        stale = session.view()
+        schema.add_layer("Harbour", schema.layers["Airport"].geometric_type)
+        star.ensure_layer_table("Harbour")
+        fresh = session.view()
+        assert fresh is not stale
+
+    def test_idempotent_session_start_keeps_other_sessions_warm(
+        self, engine, user_schema, world
+    ):
+        """A second login re-fires the (idempotent) schema rules; that must
+        not bump the star generation and evict every session's memo."""
+        first = engine.start_session(
+            build_regional_manager_profile(user_schema),
+            location=world.stores[0].location,
+        )
+        warm = first.view()
+        engine.start_session(
+            build_regional_manager_profile(user_schema, name="Bo Li"),
+            location=world.stores[0].location,
+        )
+        assert first.view() is warm
+
+
+class TestMultiFactViews:
+    @pytest.fixture()
+    def dual_session(self, dual_fact_star, user_schema):
+        from repro.personalization import PersonalizationEngine
+
+        engine = PersonalizationEngine(dual_fact_star, user_schema)
+        return engine.start_session(
+            build_regional_manager_profile(user_schema)
+        )
+
+    def test_view_requires_explicit_fact_when_ambiguous(self, dual_session):
+        with pytest.raises(PersonalizationError, match="fact tables"):
+            dual_session.view()
+
+    def test_views_per_fact(self, dual_session):
+        dual_session.selection.add_member("Product", "Product", "P2")
+        sales = dual_session.view("Sales")
+        returns = dual_session.view("Returns")
+        assert sales.fact == "Sales"
+        assert returns.fact == "Returns"
+        assert len(sales.fact_rows) == 1
+        assert len(returns.fact_rows) == 1
+        assert sales.stats()["fact_rows_total"] == 2
+        assert returns.stats()["fact_rows_total"] == 1
+        assert sales.cube().count() == 1.0
+
+    def test_per_fact_memos_are_independent(self, dual_session):
+        sales = dual_session.view("Sales")
+        returns = dual_session.view("Returns")
+        assert dual_session.view("Sales") is sales
+        assert dual_session.view("Returns") is returns
+
+    def test_cube_for_other_fact_recomputes_rows(self, dual_session):
+        """A view's fact_rows are row ids of its own fact table; a cube
+        over another fact must not misapply them."""
+        dual_session.selection.add_member("Product", "Product", "P2")
+        sales = dual_session.view("Sales")
+        assert sales.cube("Returns").count() == 1.0  # Returns row for P2
+        assert sales.cube().count() == 1.0  # Sales row for P2

@@ -170,6 +170,19 @@ class TestSpatialSelectionMatching:
         assert outcomes == []
         session.end()
 
+    def test_event_pattern_canonicalized_at_registration(self, engine):
+        """Acquisition rules carry their canonical event pattern so a
+        selection report compares strings instead of re-printing ASTs."""
+        registered = engine.rule("IntAirportCity")
+        assert registered.event_target == "GeoMD.Store.City"
+        assert registered.event_condition is not None
+        assert "20" in registered.event_condition
+        schema_rule = next(
+            r for r in engine.rules if r.phase is not RulePhase.ACQUISITION
+        )
+        assert schema_rule.event_target is None
+        assert schema_rule.event_condition is None
+
 
 class TestDisabledRules:
     def test_disabled_rule_skipped(self, engine, profile, world):
