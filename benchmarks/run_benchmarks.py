@@ -1,16 +1,22 @@
 """EXT-series benchmark runner with a JSON emitter (perf trajectory).
 
-Runs the EXT3 portal request mixes twice — once with every cache layer
-disabled (``engine.enable_caches = False``, ``star.use_indexes = False``,
-service ``query_cache_size = 0``; the pre-cache-hierarchy request path)
-and once with them enabled — and writes a JSON artefact recording req/s
-and fact rows scanned per mix, plus the speedups.  Before timing, it
+Runs the EXT3 portal request mixes and the EXT4 recommendation mixes
+twice — once with every cache layer disabled (``engine.enable_caches =
+False``, ``star.use_indexes = False``, service ``query_cache_size = 0``,
+recommender memo off; the uncached request path) and once with them
+enabled — and writes a JSON artefact recording req/s (and fact rows
+scanned for the query mixes), plus the speedups.  Before timing, it
 replays each mix in both modes and asserts the response bodies are
 byte-identical: the caches must be *transparent*.
 
+The EXT4 mixes ride the multi-user demo workload
+(:func:`repro.data.replay_demo_workload`): three journaled analysts,
+recommendations served to the first one cold vs from the
+generation-keyed memo.
+
 Usage::
 
-    python benchmarks/run_benchmarks.py --smoke --out BENCH_PR2.json
+    python benchmarks/run_benchmarks.py --smoke --out BENCH_PR3.json
     python benchmarks/run_benchmarks.py --scale medium --rounds 2000
 
 ``--smoke`` keeps rounds small so CI can afford it on every push.
@@ -35,6 +41,7 @@ from repro.data import (  # noqa: E402
     build_regional_manager_profile,
     build_sales_star,
     generate_world,
+    replay_demo_workload,
 )
 from repro.personalization import PersonalizationEngine  # noqa: E402
 from repro.web import PortalApp  # noqa: E402
@@ -67,7 +74,9 @@ def build_portal(scale: str):
     profile = build_regional_manager_profile(build_motivating_user_model())
     app = PortalApp(engine, datamart_name="sales")
     app.register_user(profile)
-    return world, star, engine, profile, app
+    # Seed the workload journals for the EXT4 recommendation mixes.
+    demo_tokens = replay_demo_workload(app, world)
+    return world, star, engine, profile, app, demo_tokens
 
 
 def login(app, profile, world) -> str:
@@ -86,9 +95,11 @@ def set_caches(app, engine, star, enabled: bool) -> None:
     star.use_indexes = enabled
     app.service.query_cache_size = 256 if enabled else 0
     app.service._query_cache.clear()
+    app.service.recommender.enable_memo = enabled
+    app.service.recommender._memo.clear()
 
 
-def make_mixes(app, profile, world, token):
+def make_mixes(app, profile, world, token, reco_token):
     """name -> zero-arg callable returning the JSON bodies it produced."""
     query_body = {"q": QUERY, "limit": 10}
 
@@ -121,12 +132,33 @@ def make_mixes(app, profile, world, token):
         assert app.handle("POST", "/api/v1/logout", token=fresh).ok
         return bodies
 
+    def recommendations():
+        response = app.handle(
+            "GET", "/api/v1/recommendations/queries", token=reco_token
+        )
+        assert response.ok, response.body
+        return [response.json()]
+
+    def recommendation_mix():
+        # Only GETs against /recommendations: these never journal, so the
+        # steady state answers from the generation-keyed memo.
+        bodies = []
+        for kind in ("queries", "layers", "members"):
+            response = app.handle(
+                "GET", f"/api/v1/recommendations/{kind}", token=reco_token
+            )
+            assert response.ok, response.body
+            bodies.append(response.json())
+        return bodies
+
     # name -> (callable, HTTP requests issued per call)
     return {
         "ext3a_repeated_view": (view, 1),
         "ext3b_repeated_query": (query, 1),
         "ext3d_steady_state_mix": (steady_state_mix, 10),
         "ext3c_session_lifecycle": (lifecycle, 3),
+        "ext4a_repeated_recommendations": (recommendations, 1),
+        "ext4b_recommendation_mix": (recommendation_mix, 3),
     }
 
 
@@ -147,14 +179,18 @@ def rows_scanned(app, token) -> int:
 
 
 def run(scale: str, rounds: int, out_path: str | None) -> dict:
-    world, star, engine, profile, app = build_portal(scale)
+    world, star, engine, profile, app, demo_tokens = build_portal(scale)
     token = login(app, profile, world)
-    mixes = make_mixes(app, profile, world, token)
+    mixes = make_mixes(
+        app, profile, world, token, reco_token=demo_tokens["ana-garcia"]
+    )
     per_mix_rounds = {
         "ext3a_repeated_view": rounds,
         "ext3b_repeated_query": max(rounds // 4, 10),
         "ext3d_steady_state_mix": max(rounds // 10, 10),
         "ext3c_session_lifecycle": max(rounds // 20, 5),
+        "ext4a_repeated_recommendations": max(rounds // 4, 10),
+        "ext4b_recommendation_mix": max(rounds // 10, 10),
     }
 
     # Transparency gate: every mix must answer identically in both modes.
@@ -168,7 +204,7 @@ def run(scale: str, rounds: int, out_path: str | None) -> dict:
         assert uncached == cached, f"{name}: cached response differs"
 
     results: dict = {
-        "series": "EXT3",
+        "series": "EXT3+EXT4",
         "scale": scale,
         "rounds": per_mix_rounds,
         "python": platform.python_version(),
@@ -177,23 +213,30 @@ def run(scale: str, rounds: int, out_path: str | None) -> dict:
     }
     for name, (fn, weight) in mixes.items():
         mix_rounds = per_mix_rounds[name]
+        # Scan counts only make sense for mixes that issue GeoMDQL queries.
+        is_query_mix = name in ("ext3b_repeated_query", "ext3d_steady_state_mix")
         set_caches(app, engine, star, False)
         before = time_mix(fn, mix_rounds) * weight
-        scanned_before = rows_scanned(app, token)
+        scanned_before = rows_scanned(app, token) if is_query_mix else None
         set_caches(app, engine, star, True)
         after = time_mix(fn, mix_rounds) * weight
-        scanned_after = rows_scanned(app, token)
+        scanned_after = rows_scanned(app, token) if is_query_mix else None
         results["mixes"][name] = {
             "before_req_per_s": round(before, 1),
             "after_req_per_s": round(after, 1),
             "speedup": round(after / before, 2),
-            "fact_rows_scanned_before": scanned_before,
-            "fact_rows_scanned_after": scanned_after,
         }
+        if is_query_mix:
+            results["mixes"][name]["fact_rows_scanned_before"] = scanned_before
+            results["mixes"][name]["fact_rows_scanned_after"] = scanned_after
+        scanned = (
+            f", rows scanned {scanned_before} -> {scanned_after}"
+            if is_query_mix
+            else ""
+        )
         print(
             f"[{name}] {before:,.0f} -> {after:,.0f} req/s "
-            f"({after / before:.1f}x), rows scanned "
-            f"{scanned_before} -> {scanned_after}"
+            f"({after / before:.1f}x){scanned}"
         )
 
     if out_path:
@@ -213,10 +256,15 @@ def main() -> int:
     args = parser.parse_args()
     rounds = 100 if args.smoke else args.rounds
     results = run(args.scale, rounds, args.out)
-    # The tentpole's acceptance bar: repeated views must be >= 5x faster.
+    # The PR 2 acceptance bar: repeated views must be >= 5x faster.
     ext3a = results["mixes"]["ext3a_repeated_view"]
     if ext3a["speedup"] < 5.0:
         print(f"FAIL: EXT3a speedup {ext3a['speedup']}x < 5x", file=sys.stderr)
+        return 1
+    # The PR 3 bar: memoized recommendations must beat cold recomputes.
+    ext4a = results["mixes"]["ext4a_repeated_recommendations"]
+    if ext4a["speedup"] < 2.0:
+        print(f"FAIL: EXT4a speedup {ext4a['speedup']}x < 2x", file=sys.stderr)
         return 1
     return 0
 

@@ -8,6 +8,16 @@ texts.
 """
 
 from repro.data.catalog import WorldGeoSource
+from repro.data.demo_workload import (
+    DEMO_NOISE_QUERIES,
+    DEMO_QUERY_RECOMMENDED,
+    DEMO_QUERY_SHARED,
+    DEMO_SELECTION_CONDITION,
+    DEMO_SELECTION_TARGET,
+    DEMO_USERS,
+    build_demo_profiles,
+    replay_demo_workload,
+)
 from repro.data.loader import build_sales_star, load_world
 from repro.data.paper_rules import (
     ADD_CITY_SPATIALITY,
@@ -42,6 +52,12 @@ __all__ = [
     "Airport",
     "City",
     "Customer",
+    "DEMO_NOISE_QUERIES",
+    "DEMO_QUERY_RECOMMENDED",
+    "DEMO_QUERY_SHARED",
+    "DEMO_SELECTION_CONDITION",
+    "DEMO_SELECTION_TARGET",
+    "DEMO_USERS",
     "FACT_NAME",
     "FIVE_KM_STORES",
     "Highway",
@@ -53,10 +69,12 @@ __all__ = [
     "World",
     "WorldConfig",
     "WorldGeoSource",
+    "build_demo_profiles",
     "build_motivating_user_model",
     "build_regional_manager_profile",
     "build_sales_schema",
     "build_sales_star",
     "generate_world",
     "load_world",
+    "replay_demo_workload",
 ]

@@ -1,0 +1,64 @@
+"""A small thread-safe LRU map with hit/miss accounting.
+
+The cache hierarchy grew three hand-rolled copies of the same pattern —
+lock-guarded :class:`~collections.OrderedDict`, ``move_to_end`` on
+access, ``popitem(last=False)`` eviction, hit/miss counters — in the
+service query cache, the recommendation memo and the spatial-profile
+cache.  This is that pattern, once.
+
+The maximum size may be overridden per :meth:`put` because some owners
+(the service query cache) expose their size as a runtime-mutable
+attribute; eviction always trims to the effective bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["ThreadSafeLRU"]
+
+
+class ThreadSafeLRU:
+    """Bounded ``key -> value`` map with LRU eviction, safe across threads."""
+
+    def __init__(self, max_size: int) -> None:
+        if max_size < 0:
+            raise ValueError("max_size must be >= 0")
+        self.max_size = max_size
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> object | None:
+        """The cached value (refreshed as most-recent), or ``None``."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(
+        self, key: Hashable, value: object, max_size: int | None = None
+    ) -> None:
+        """Store a value, evicting least-recently-used entries beyond the
+        bound (``max_size`` overrides the constructor's for this call)."""
+        bound = self.max_size if max_size is None else max_size
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > bound:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -139,6 +139,15 @@ class SelectionSet:
     def member_count(self) -> int:
         return sum(len(keys) for keys in self.members.values())
 
+    def member_triples(self) -> list[tuple[str, str, str]]:
+        """The selection flattened to ``(dimension, level, key)`` triples
+        (the footprint shape the workload journal and recommender use)."""
+        return [
+            (dimension, level, key)
+            for (dimension, level), keys in self.members.items()
+            for key in keys
+        ]
+
     def allowed_leaf_keys(self, star: StarSchema) -> dict[str, set[str]]:
         """Per-dimension allowed leaf keys implied by member selections."""
         out: dict[str, set[str]] = {}

@@ -1,0 +1,215 @@
+"""The workload journal: an append-only event log per (datamart, user).
+
+Every query, spatial-selection report and layer fetch that reaches the
+:class:`~repro.service.facade.PersonalizationService` is journaled here —
+the same traffic the cache hierarchy observes.  Histories are keyed by
+``(datamart, user_id)``, *not* by session token: sessions expire and get
+evicted, but a user's analysis history survives and a re-login resumes
+it.
+
+The journal is the recommender's ground truth, so its contract mirrors
+the storage layer's invalidation protocol: a per-datamart monotonic
+:meth:`~WorkloadJournal.generation` counter is bumped by every append,
+and downstream memos (the recommender's) key on it — any new event in a
+tenant invalidates that tenant's recommendations, appends elsewhere do
+not.
+
+Memory is bounded per user (``max_events_per_user``, oldest dropped
+first) so a hot tenant cannot grow the journal without limit.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterable, Mapping
+
+__all__ = ["WorkloadEvent", "WorkloadJournal"]
+
+#: Event kinds the journal understands.
+QUERY = "query"
+SELECTION = "selection"
+LAYER = "layer"
+
+
+def _freeze(value: object) -> object:
+    """Recursively freeze a payload value (dicts/lists/sets included)."""
+    if isinstance(value, Mapping):
+        return MappingProxyType({k: _freeze(v) for k, v in value.items()})
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One journaled interaction.
+
+    ``seq`` is a journal-wide monotonic sequence number (append order
+    across all users of all tenants); ``payload`` is a recursively
+    read-only mapping whose shape depends on ``kind``:
+
+    * ``"query"`` — ``{"q": <stripped GeoMDQL text>}``;
+    * ``"selection"`` — ``{"target", "condition", "members": ((dimension,
+      level, key), ...)}`` (the session's member selection snapshot after
+      acquisition rules fired);
+    * ``"layer"`` — ``{"layer": <name>}``.
+    """
+
+    seq: int
+    kind: str
+    datamart: str
+    user_id: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Freeze the payload (deeply) so journaled history cannot be
+        # mutated through references callers or readers hold.
+        object.__setattr__(self, "payload", _freeze(dict(self.payload)))
+
+
+class WorkloadJournal:
+    """Thread-safe, append-only workload log with per-tenant generations."""
+
+    def __init__(self, max_events_per_user: int = 10_000) -> None:
+        if max_events_per_user < 1:
+            raise ValueError("max_events_per_user must be >= 1")
+        self.max_events_per_user = max_events_per_user
+        self._lock = threading.Lock()
+        #: (datamart, user_id) -> events in append order.
+        self._events: dict[tuple[str, str], list[WorkloadEvent]] = {}
+        #: datamart -> monotonic generation (bumped by every append).
+        self._generations: dict[str, int] = {}
+        self._seq = 0
+
+    # -- recording ----------------------------------------------------------------
+
+    def record(
+        self,
+        datamart: str,
+        user_id: str,
+        kind: str,
+        payload: Mapping[str, object] | None = None,
+    ) -> WorkloadEvent:
+        """Append one event, returning it (with its sequence number)."""
+        if kind not in (QUERY, SELECTION, LAYER):
+            raise ValueError(f"unknown workload event kind {kind!r}")
+        with self._lock:
+            self._seq += 1
+            event = WorkloadEvent(
+                seq=self._seq,
+                kind=kind,
+                datamart=datamart,
+                user_id=user_id,
+                payload=payload or {},
+            )
+            history = self._events.setdefault((datamart, user_id), [])
+            history.append(event)
+            if len(history) > self.max_events_per_user:
+                del history[: len(history) - self.max_events_per_user]
+            self._generations[datamart] = self._generations.get(datamart, 0) + 1
+        return event
+
+    def record_query(self, datamart: str, user_id: str, q: str) -> WorkloadEvent:
+        return self.record(datamart, user_id, QUERY, {"q": q.strip()})
+
+    def record_selection(
+        self,
+        datamart: str,
+        user_id: str,
+        target: str,
+        condition: str,
+        members: Iterable[tuple[str, str, str]] = (),
+    ) -> WorkloadEvent:
+        """Journal a spatial-selection report plus the member snapshot.
+
+        ``members`` is the session's current ``(dimension, level, key)``
+        selection after the report's acquisition rules fired — the
+        spatial footprint the similarity model is built from.
+        """
+        return self.record(
+            datamart,
+            user_id,
+            SELECTION,
+            {
+                "target": target,
+                "condition": condition,
+                "members": sorted([d, lv, k] for d, lv, k in members),
+            },
+        )
+
+    def record_layer(self, datamart: str, user_id: str, layer: str) -> WorkloadEvent:
+        return self.record(datamart, user_id, LAYER, {"layer": layer})
+
+    # -- reading ------------------------------------------------------------------
+
+    def generation(self, datamart: str) -> int:
+        """Monotonic per-tenant version; any append bumps it."""
+        with self._lock:
+            return self._generations.get(datamart, 0)
+
+    def users(self, datamart: str) -> list[str]:
+        """Users with at least one journaled event, sorted."""
+        with self._lock:
+            return sorted(
+                {user for dm, user in self._events if dm == datamart}
+            )
+
+    def events(self, datamart: str, user_id: str) -> list[WorkloadEvent]:
+        """One user's history in append order (a copy)."""
+        with self._lock:
+            return list(self._events.get((datamart, user_id), ()))
+
+    def queries(self, datamart: str, user_id: str) -> list[str]:
+        """Distinct query texts in first-run order."""
+        seen: dict[str, None] = {}
+        for event in self.events(datamart, user_id):
+            if event.kind == QUERY:
+                seen.setdefault(event.payload["q"], None)
+        return list(seen)
+
+    def layers(self, datamart: str, user_id: str) -> set[str]:
+        """Layer names this user has fetched."""
+        return {
+            event.payload["layer"]
+            for event in self.events(datamart, user_id)
+            if event.kind == LAYER
+        }
+
+    def member_profile(
+        self, datamart: str, user_id: str
+    ) -> dict[tuple[str, str], set[str]]:
+        """Union of journaled member selections: (dimension, level) -> keys."""
+        profile: dict[tuple[str, str], set[str]] = {}
+        for event in self.events(datamart, user_id):
+            if event.kind != SELECTION:
+                continue
+            for dimension, level, key in event.payload["members"]:
+                profile.setdefault((dimension, level), set()).add(key)
+        return profile
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-datamart event/user counts (for the health endpoint)."""
+        with self._lock:
+            out: dict[str, dict[str, int]] = {}
+            for (datamart, _user), history in self._events.items():
+                entry = out.setdefault(
+                    datamart,
+                    {"users": 0, "events": 0, "generation": 0},
+                )
+                entry["users"] += 1
+                entry["events"] += len(history)
+            for datamart, generation in self._generations.items():
+                out.setdefault(
+                    datamart, {"users": 0, "events": 0, "generation": 0}
+                )["generation"] = generation
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(history) for history in self._events.values())

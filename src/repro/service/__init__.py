@@ -20,6 +20,8 @@ from repro.service.dtos import (
     PageRequest,
     QueryRequest,
     QueryResult,
+    RecommendationRequest,
+    RecommendationResult,
     RerunResult,
     SelectionRequest,
     SelectionResult,
@@ -47,6 +49,8 @@ __all__ = [
     "PersonalizationService",
     "QueryRequest",
     "QueryResult",
+    "RecommendationRequest",
+    "RecommendationResult",
     "RerunResult",
     "SelectionRequest",
     "SelectionResult",

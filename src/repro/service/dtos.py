@@ -24,6 +24,8 @@ __all__ = [
     "LogoutResult",
     "QueryRequest",
     "QueryResult",
+    "RecommendationRequest",
+    "RecommendationResult",
     "SelectionRequest",
     "SelectionResult",
     "RerunResult",
@@ -33,17 +35,31 @@ __all__ = [
 
 
 def _non_negative_int(value: object, name: str) -> int:
-    """Coerce a body/query value (int or numeric string) to an int >= 0."""
-    if isinstance(value, bool):
-        raise BadRequestError(f"{name!r} must be a non-negative integer")
+    """Coerce a body/query value (int or numeric string) to an int >= 0.
+
+    The shared validation helper behind every paginated endpoint (layers,
+    query rows, recommendations): a negative, boolean, fractional or
+    non-numeric value raises a 400 with the ``invalid_request`` code
+    instead of leaking as a 500.
+    """
+    if isinstance(value, bool) or (
+        isinstance(value, float) and not value.is_integer()
+    ):
+        raise BadRequestError(
+            f"{name!r} must be a non-negative integer, got {value!r}",
+            code="invalid_request",
+        )
     try:
         number = int(value)  # type: ignore[arg-type]
     except (TypeError, ValueError):
         raise BadRequestError(
-            f"{name!r} must be a non-negative integer, got {value!r}"
+            f"{name!r} must be a non-negative integer, got {value!r}",
+            code="invalid_request",
         ) from None
     if number < 0:
-        raise BadRequestError(f"{name!r} must be >= 0, got {number}")
+        raise BadRequestError(
+            f"{name!r} must be >= 0, got {number}", code="invalid_request"
+        )
     return number
 
 
@@ -95,9 +111,13 @@ class PageInfo:
 
 @dataclass(frozen=True)
 class LoginRequest:
+    """``journal=False`` opts the session out of workload journaling (the
+    user's requests then never feed the recommendation subsystem)."""
+
     user: str
     datamart: str | None = None
     location: Point | None = None
+    journal: bool = True
 
     @classmethod
     def from_body(cls, body: Mapping[str, object]) -> "LoginRequest":
@@ -107,6 +127,9 @@ class LoginRequest:
         datamart = body.get("datamart")
         if datamart is not None and not isinstance(datamart, str):
             raise BadRequestError("'datamart' must be a string")
+        journal = body.get("journal", True)
+        if not isinstance(journal, bool):
+            raise BadRequestError("'journal' must be a boolean")
         location = None
         raw_location = body.get("location")
         if raw_location is not None:
@@ -121,7 +144,9 @@ class LoginRequest:
                 raise BadRequestError(
                     "'location' coordinates must be numbers"
                 ) from None
-        return cls(user=user, datamart=datamart, location=location)
+        return cls(
+            user=user, datamart=datamart, location=location, journal=journal
+        )
 
 
 @dataclass(frozen=True)
@@ -131,6 +156,7 @@ class LoginResult:
     datamart: str
     rules_fired: list[str]
     view: dict
+    journal: bool = True
 
     def to_dict(self) -> dict:
         return {
@@ -139,6 +165,7 @@ class LoginResult:
             "datamart": self.datamart,
             "rules_fired": list(self.rules_fired),
             "view": dict(self.view),
+            "journal": self.journal,
         }
 
 
@@ -233,6 +260,48 @@ class LayerResult:
             "layer": self.layer,
             "geometric_type": self.geometric_type,
             "features": list(self.features),
+            "page": self.page.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class RecommendationRequest:
+    """Paging plus the neighbourhood size for a recommendation call."""
+
+    k: int | None = None
+    page: PageRequest = field(default_factory=PageRequest)
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, object]) -> "RecommendationRequest":
+        k_raw = data.get("k")
+        k = None
+        if k_raw is not None:
+            k = _non_negative_int(k_raw, "k")
+            if k < 1:
+                raise BadRequestError(
+                    "'k' must be >= 1", code="invalid_request"
+                )
+        return cls(k=k, page=PageRequest.from_mapping(data))
+
+
+@dataclass(frozen=True)
+class RecommendationResult:
+    """Ranked suggestions for one user plus the peers they came from."""
+
+    kind: str
+    user: str
+    datamart: str
+    items: list[dict]
+    similar_users: list[dict]
+    page: PageInfo
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "user": self.user,
+            "datamart": self.datamart,
+            "items": [dict(item) for item in self.items],
+            "similar_users": [dict(peer) for peer in self.similar_users],
             "page": self.page.to_dict(),
         }
 

@@ -25,13 +25,14 @@ the uniform error envelope.  The service owns:
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from typing import NamedTuple
 
 from repro.errors import BadRequestError, PRMLError, QueryError, UnauthorizedError
+from repro.lru import ThreadSafeLRU
 from repro.olap.gmdql import parse_query
 from repro.olap.query import execute
 from repro.personalization.engine import PersonalizationEngine, PersonalizedSession
+from repro.reco import Recommender, WorkloadJournal
 from repro.service.dtos import (
     DatamartInfo,
     LayerResult,
@@ -41,6 +42,8 @@ from repro.service.dtos import (
     PageRequest,
     QueryRequest,
     QueryResult,
+    RecommendationRequest,
+    RecommendationResult,
     RerunResult,
     SelectionRequest,
     SelectionResult,
@@ -73,6 +76,8 @@ class PersonalizationService:
         registry: DatamartRegistry,
         session_store: SessionStore | None = None,
         query_cache_size: int = 256,
+        journal: WorkloadJournal | None = None,
+        recommender: Recommender | None = None,
     ) -> None:
         self.registry = registry
         # `is not None` matters: an empty store has __len__ == 0 and is falsy.
@@ -89,10 +94,15 @@ class PersonalizationService:
         if query_cache_size < 0:
             raise ValueError("query_cache_size must be >= 0")
         self.query_cache_size = query_cache_size
-        self._query_cache: OrderedDict[tuple, CellSetPayload] = OrderedDict()
-        self._query_cache_lock = threading.Lock()
-        self.query_cache_hits = 0
-        self.query_cache_misses = 0
+        self._query_cache: ThreadSafeLRU = ThreadSafeLRU(query_cache_size)
+        #: Workload journal + recommender: every query, selection report
+        #: and layer fetch is journaled per (datamart, user) — unless the
+        #: login opted out — and the recommender ranks suggestions from
+        #: similar users' journals (see :mod:`repro.reco`).
+        self.journal = journal if journal is not None else WorkloadJournal()
+        self.recommender = (
+            recommender if recommender is not None else Recommender(self.journal)
+        )
 
     # -- session lifecycle --------------------------------------------------------
 
@@ -108,12 +118,16 @@ class PersonalizationService:
         record = self.sessions.put(
             session, datamart=datamart.name, user_id=request.user
         )
+        # The journaling opt-out travels with the session record, not the
+        # user: a later login may opt back in and resume the history.
+        record.meta["journal"] = request.journal
         return LoginResult(
             token=record.token,
             user=request.user,
             datamart=datamart.name,
             rules_fired=[o.rule_name for o in session.outcomes],
             view=self._view_stats(session),
+            journal=request.journal,
         )
 
     def logout(self, token: str | None) -> LogoutResult:
@@ -179,8 +193,11 @@ class PersonalizationService:
                     selection.generation,
                     session.context.star.generation,
                 )
-                payload = self._query_cache_get(cache_key)
+                payload = self._query_cache.get(cache_key)
                 if payload is not None:
+                    # A cache hit is still workload: the journal observes
+                    # the same traffic the caches do.
+                    self._journal_query(record, request)
                     return self._paged_result(payload, request)
             try:
                 query = parse_query(request.q, session.context.geomd_schema)
@@ -203,7 +220,11 @@ class PersonalizationService:
                 fact_rows_matched=cell_set.fact_rows_matched,
             )
             if cache_key is not None:
-                self._query_cache_put(cache_key, payload)
+                # query_cache_size is runtime-mutable; trim to its live value.
+                self._query_cache.put(
+                    cache_key, payload, max_size=self.query_cache_size
+                )
+            self._journal_query(record, request)
         return self._paged_result(payload, request)
 
     def _paged_result(
@@ -219,22 +240,13 @@ class PersonalizationService:
             page=page,
         )
 
-    def _query_cache_get(self, key: tuple) -> CellSetPayload | None:
-        with self._query_cache_lock:
-            payload = self._query_cache.get(key)
-            if payload is None:
-                self.query_cache_misses += 1
-                return None
-            self._query_cache.move_to_end(key)
-            self.query_cache_hits += 1
-            return payload
+    @property
+    def query_cache_hits(self) -> int:
+        return self._query_cache.hits
 
-    def _query_cache_put(self, key: tuple, payload: CellSetPayload) -> None:
-        with self._query_cache_lock:
-            self._query_cache[key] = payload
-            self._query_cache.move_to_end(key)
-            while len(self._query_cache) > self.query_cache_size:
-                self._query_cache.popitem(last=False)
+    @property
+    def query_cache_misses(self) -> int:
+        return self._query_cache.misses
 
     def record_selection(
         self, token: str | None, request: SelectionRequest
@@ -254,6 +266,17 @@ class PersonalizationService:
                         "condition": request.condition,
                     },
                 ) from exc
+            if self._journal_enabled(record):
+                # Snapshot the member selection *after* acquisition rules
+                # fired: this is the spatial footprint similarity is
+                # computed from.
+                self.journal.record_selection(
+                    record.datamart,
+                    record.user_id,
+                    request.target,
+                    request.condition,
+                    members=record.session.selection.member_triples(),
+                )
             return SelectionResult(
                 matched_rules=[o.rule_name for o in outcomes],
                 profile=record.session.profile.to_dict(),
@@ -287,6 +310,7 @@ class PersonalizationService:
             features, page_info = (page or PageRequest()).apply(
                 list(table.features())
             )
+            self._journal_layer(record, name)
         return LayerResult(
             layer=name,
             geometric_type=schema.layers[name].geometric_type.name,
@@ -301,7 +325,96 @@ class PersonalizationService:
             page=page_info,
         )
 
+    # -- recommendations ----------------------------------------------------------
+
+    def recommendations(
+        self,
+        token: str | None,
+        kind: str,
+        request: RecommendationRequest | None = None,
+    ) -> RecommendationResult:
+        """Ranked suggestions (queries/layers/members) for this session's
+        user, mined from the journals of the most similar users.
+
+        Layer suggestions are confined to the session's *personalized*
+        schema and member suggestions exclude the session's live
+        selection, so a recommendation can never surface data the target
+        user's own personalization would not grant; recommended queries
+        execute through :meth:`query` against the user's own view.
+        """
+        request = request or RecommendationRequest()
+        # Auth first, like every other session endpoint: an anonymous
+        # client must get the same 401 for valid and invalid kinds.
+        record = self._record(token)
+        if kind not in ("queries", "layers", "members"):
+            from repro.errors import NotFoundError
+
+            raise NotFoundError(
+                f"no recommendation kind {kind!r}",
+                code="unknown_recommendation_kind",
+                detail={"available": ["queries", "layers", "members"]},
+            )
+        with record.lock:
+            session = record.session
+            star = session.context.star
+            selection = session.selection
+            items, neighbours = self.recommender.recommend(
+                record.datamart,
+                record.user_id,
+                star,
+                kind,
+                k=request.k,
+                allowed_layers=set(session.context.geomd_schema.layers)
+                if kind == "layers"
+                else None,
+                exclude_members=selection.member_triples()
+                if kind == "members"
+                else (),
+                # The memo key must cover the session state consulted
+                # above — the selection's (uid, generation) is exactly the
+                # cache-identity protocol the view memo and query cache use.
+                context_key=(selection.uid, selection.generation),
+            )
+        paged, page_info = request.page.apply(
+            [recommendation.to_dict() for recommendation in items]
+        )
+        return RecommendationResult(
+            kind=kind,
+            user=record.user_id,
+            datamart=record.datamart,
+            items=paged,
+            similar_users=[
+                {"user": user, "score": round(score, 6)}
+                for user, score in neighbours
+            ],
+            page=page_info,
+        )
+
     # -- introspection -----------------------------------------------------------
+
+    def health(self) -> dict:
+        """Unauthenticated liveness/introspection snapshot (LB probes)."""
+        query_cache = {
+            "size": len(self._query_cache),
+            "max_size": self.query_cache_size,
+            "hits": self.query_cache_hits,
+            "misses": self.query_cache_misses,
+        }
+        return {
+            "status": "ok",
+            "datamarts": [
+                {
+                    "name": dm.name,
+                    "sessions_started": self._sessions_started.get(dm.name, 0),
+                    "star_generation": dm.engine.star.generation,
+                }
+                for dm in sorted(self.registry, key=lambda d: d.name)
+            ],
+            "active_sessions": len(self.sessions),
+            "query_cache": query_cache,
+            "journal": self.journal.stats(),
+            "recommender": self.recommender.stats(),
+        }
 
     def datamarts(self) -> list[DatamartInfo]:
         """Describe every tenant this service hosts."""
@@ -321,6 +434,20 @@ class PersonalizationService:
         return self._sessions_started.get(datamart, 0)
 
     # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _journal_enabled(record: SessionRecord) -> bool:
+        return bool(record.meta.get("journal", True))
+
+    def _journal_query(self, record: SessionRecord, request: QueryRequest) -> None:
+        if self._journal_enabled(record):
+            self.journal.record_query(
+                record.datamart, record.user_id, request.q
+            )
+
+    def _journal_layer(self, record: SessionRecord, name: str) -> None:
+        if self._journal_enabled(record):
+            self.journal.record_layer(record.datamart, record.user_id, name)
 
     def _record(self, token: str | None) -> SessionRecord:
         if token is None:

@@ -29,7 +29,16 @@ POST    /api/v1/selection/rerun         re-run instance rules after interest
 GET     /api/v1/layers/{name}           features of a thematic layer (WKT),
                                         paginated via ?limit=&offset=
 GET     /api/v1/datamarts               hosted tenants (no token required)
+GET     /api/v1/health                  liveness + cache/journal stats
+                                        (no token required)
+GET     /api/v1/recommendations/{kind}  ranked suggestions mined from similar
+                                        users' workload journals; kind is
+                                        ``queries``/``layers``/``members``,
+                                        tunable via ?k=&limit=&offset=
 ======  ==============================  =======================================
+
+Login accepts a ``"journal": false`` flag to opt the session out of
+workload journaling (its requests then never feed recommendations).
 
 The seed's unversioned paths (``/login``, ``/view``, ...) still answer
 through a deprecation shim: same handlers, plus ``Deprecation: true``
@@ -52,6 +61,7 @@ from repro.service import (
     PageRequest,
     PersonalizationService,
     QueryRequest,
+    RecommendationRequest,
     SelectionRequest,
     SessionStore,
 )
@@ -171,6 +181,10 @@ class PortalApp:
                 method, path, _deprecated(handler, API_PREFIX + path)
             )
         self.router.get(API_PREFIX + "/datamarts", self._datamarts)
+        self.router.get(API_PREFIX + "/health", self._health)
+        self.router.get(
+            API_PREFIX + "/recommendations/{kind}", self._recommendations
+        )
 
     # -- handlers (thin delegation to the service) --------------------------------
 
@@ -216,6 +230,17 @@ class PortalApp:
             PageRequest.from_mapping(request.query),
         )
         return json_response(result.to_dict())
+
+    def _recommendations(self, request: Request) -> Response:
+        result = self.service.recommendations(
+            request.session_token,
+            request.params["kind"],
+            RecommendationRequest.from_mapping(request.query),
+        )
+        return json_response(result.to_dict())
+
+    def _health(self, request: Request) -> Response:
+        return json_response(self.service.health())
 
     def _datamarts(self, request: Request) -> Response:
         return json_response(

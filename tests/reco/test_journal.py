@@ -1,0 +1,130 @@
+"""WorkloadJournal: append-only semantics, per-user histories, generations,
+bounded memory and thread-safety."""
+
+import threading
+
+import pytest
+
+from repro.reco import WorkloadJournal
+
+
+@pytest.fixture()
+def journal():
+    return WorkloadJournal()
+
+
+class TestRecording:
+    def test_sequence_is_monotonic_across_users_and_tenants(self, journal):
+        a = journal.record_query("sales", "ana", "Q1")
+        b = journal.record_layer("sales", "bob", "Airport")
+        c = journal.record_query("eu", "ana", "Q2")
+        assert [a.seq, b.seq, c.seq] == [1, 2, 3]
+        assert len(journal) == 3
+
+    def test_histories_are_per_datamart_and_user(self, journal):
+        journal.record_query("sales", "ana", "Q1")
+        journal.record_query("sales", "bob", "Q2")
+        journal.record_query("eu", "ana", "Q3")
+        assert [e.payload["q"] for e in journal.events("sales", "ana")] == ["Q1"]
+        assert journal.users("sales") == ["ana", "bob"]
+        assert journal.users("eu") == ["ana"]
+        assert journal.events("sales", "nobody") == []
+
+    def test_query_text_is_stripped_and_deduped_in_order(self, journal):
+        journal.record_query("sales", "ana", "  Q2  ")
+        journal.record_query("sales", "ana", "Q1")
+        journal.record_query("sales", "ana", "Q2")
+        assert journal.queries("sales", "ana") == ["Q2", "Q1"]
+
+    def test_selection_members_accumulate_into_profile(self, journal):
+        journal.record_selection(
+            "sales",
+            "ana",
+            "GeoMD.Store.City",
+            "c1",
+            members=[("Store", "Store", "S1"), ("Store", "City", "Alicante")],
+        )
+        journal.record_selection(
+            "sales",
+            "ana",
+            "GeoMD.Store.City",
+            "c2",
+            members=[("Store", "Store", "S2")],
+        )
+        assert journal.member_profile("sales", "ana") == {
+            ("Store", "Store"): {"S1", "S2"},
+            ("Store", "City"): {"Alicante"},
+        }
+
+    def test_layer_fetches(self, journal):
+        journal.record_layer("sales", "ana", "Airport")
+        journal.record_layer("sales", "ana", "Airport")
+        journal.record_layer("sales", "ana", "Train")
+        assert journal.layers("sales", "ana") == {"Airport", "Train"}
+
+    def test_unknown_kind_rejected(self, journal):
+        with pytest.raises(ValueError, match="unknown workload event kind"):
+            journal.record("sales", "ana", "scroll")
+
+    def test_payload_is_immutable(self, journal):
+        event = journal.record_query("sales", "ana", "Q1")
+        with pytest.raises(TypeError):
+            event.payload["q"] = "tampered"
+
+    def test_payload_freeze_is_deep(self, journal):
+        members = [["Store", "Store", "S1"]]
+        event = journal.record(
+            "sales", "ana", "selection", {"members": members}
+        )
+        members[0][2] = "tampered"  # the caller's copy, not the journal's
+        assert event.payload["members"] == (("Store", "Store", "S1"),)
+        with pytest.raises(TypeError):
+            event.payload["members"][0][2] = "tampered"
+
+
+class TestGenerations:
+    def test_every_append_bumps_only_its_tenant(self, journal):
+        assert journal.generation("sales") == 0
+        journal.record_query("sales", "ana", "Q1")
+        journal.record_layer("sales", "bob", "Airport")
+        assert journal.generation("sales") == 2
+        assert journal.generation("eu") == 0
+        journal.record_query("eu", "cara", "Q9")
+        assert journal.generation("sales") == 2
+        assert journal.generation("eu") == 1
+
+
+class TestBoundsAndConcurrency:
+    def test_per_user_history_is_capped_oldest_first(self):
+        journal = WorkloadJournal(max_events_per_user=3)
+        for i in range(5):
+            journal.record_query("sales", "ana", f"Q{i}")
+        kept = [e.payload["q"] for e in journal.events("sales", "ana")]
+        assert kept == ["Q2", "Q3", "Q4"]
+        # The generation keeps counting even when old events are dropped.
+        assert journal.generation("sales") == 5
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadJournal(max_events_per_user=0)
+
+    def test_concurrent_appends_lose_nothing(self, journal):
+        threads = [
+            threading.Thread(
+                target=lambda user=f"u{i}": [
+                    journal.record_query("sales", user, f"Q{j}")
+                    for j in range(50)
+                ],
+            )
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(journal) == 8 * 50
+        assert journal.generation("sales") == 8 * 50
+        seqs = [
+            e.seq for u in journal.users("sales") for e in journal.events("sales", u)
+        ]
+        assert len(set(seqs)) == len(seqs)  # no duplicated sequence numbers

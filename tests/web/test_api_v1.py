@@ -183,8 +183,53 @@ class TestErrorEnvelope:
                 query={"limit": "many"},
             ),
             400,
-            "bad_request",
+            "invalid_request",
         )
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {"limit": "-1"},
+            {"offset": "-3"},
+            {"limit": "1.5"},
+            {"offset": "many"},
+        ],
+    )
+    def test_invalid_pagination_shared_across_endpoints(
+        self, portal, profile, world, params
+    ):
+        """Negative/non-integer limit/offset is a 400 `invalid_request`
+        everywhere paging exists — layers, query rows, recommendations —
+        never a 500."""
+        token = _login(portal, profile, world)
+        for method, path, body in [
+            ("GET", "/api/v1/layers/Airport", None),
+            ("POST", "/api/v1/query", {"q": "q"}),
+            ("GET", "/api/v1/recommendations/queries", None),
+        ]:
+            if body is not None:
+                merged = dict(body)
+                merged.update(params)
+                response = portal.handle(method, path, merged, token=token)
+            else:
+                response = portal.handle(
+                    method, path, token=token, query=dict(params)
+                )
+            _assert_envelope(response, 400, "invalid_request")
+
+    def test_invalid_neighbourhood_size(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        for k in ("0", "-2", "few"):
+            _assert_envelope(
+                portal.handle(
+                    "GET",
+                    "/api/v1/recommendations/queries",
+                    token=token,
+                    query={"k": k},
+                ),
+                400,
+                "invalid_request",
+            )
 
 
 class TestMultiDatamart:
