@@ -1,22 +1,36 @@
 """EXT-series benchmark runner with a JSON emitter (perf trajectory).
 
-Runs the EXT3 portal request mixes and the EXT4 recommendation mixes
-twice — once with every cache layer disabled (``engine.enable_caches =
-False``, ``star.use_indexes = False``, service ``query_cache_size = 0``,
-recommender memo off; the uncached request path) and once with them
-enabled — and writes a JSON artefact recording req/s (and fact rows
-scanned for the query mixes), plus the speedups.  Before timing, it
-replays each mix in both modes and asserts the response bodies are
-byte-identical: the caches must be *transparent*.
+Runs the EXT3 portal request mixes, the EXT4 recommendation mixes and
+the EXT5 shared-view-store mixes twice — once with every cache layer
+disabled (``engine.enable_caches = False``, ``star.use_indexes =
+False``, service ``query_cache_size = 0``, recommender memo off; the
+uncached request path) and once with them enabled — and writes a JSON
+artefact recording req/s (and fact rows scanned for the query mixes),
+plus the speedups.  Before timing, it replays each mix in both modes and
+asserts the response bodies are byte-identical: the caches must be
+*transparent*.
 
 The EXT4 mixes ride the multi-user demo workload
 (:func:`repro.data.replay_demo_workload`): three journaled analysts,
 recommendations served to the first one cold vs from the
 generation-keyed memo.
 
+The EXT5 mixes exercise the PR 4 shared materialized-view store:
+
+* ``ext5a_shared_selection_fanout`` — N fresh sessions of one user, each
+  materializing its view: the store must serve every session from one
+  build (the recorded ``view_store.builds`` delta over the cached phase
+  must be exactly 1 — the single shared build).
+* ``ext5b_append_heavy`` — interleaved fact appends and view/query
+  requests: incremental maintenance must *patch* the live views instead
+  of rebuilding them.  This mix mutates the star, so its transparency
+  gate and its two timed runs each get a **fresh portal** replaying an
+  identical sequence (the generic gate would otherwise compare different
+  data states).
+
 Usage::
 
-    python benchmarks/run_benchmarks.py --smoke --out BENCH_PR3.json
+    python benchmarks/run_benchmarks.py --smoke --out BENCH_PR4.json
     python benchmarks/run_benchmarks.py --scale medium --rounds 2000
 
 ``--smoke`` keeps rounds small so CI can afford it on every push.
@@ -97,6 +111,11 @@ def set_caches(app, engine, star, enabled: bool) -> None:
     app.service._query_cache.clear()
     app.service.recommender.enable_memo = enabled
     app.service.recommender._memo.clear()
+    # enable_caches=False already routes sessions around the shared view
+    # store; dropping its entries keeps the disabled mode honest (nothing
+    # warm survives into the next enabled phase).
+    if engine.view_store is not None:
+        engine.view_store.invalidate()
 
 
 def make_mixes(app, profile, world, token, reco_token):
@@ -151,6 +170,29 @@ def make_mixes(app, profile, world, token, reco_token):
             bodies.append(response.json())
         return bodies
 
+    def shared_selection_fanout():
+        # N fresh sessions of one user, all landing on the same selection
+        # content: with the view store on, the N materializations are one
+        # shared build (bodies are the token-free view stats).
+        location = world.stores[0].location
+        tokens = []
+        for _ in range(4):
+            response = app.handle(
+                "POST",
+                "/api/v1/login",
+                {"user": profile.user_id, "location": [location.x, location.y]},
+            )
+            assert response.ok, response.body
+            tokens.append(response.json()["token"])
+        bodies = []
+        for fresh in tokens:
+            response = app.handle("GET", "/api/v1/view", token=fresh)
+            assert response.ok, response.body
+            bodies.append(response.json())
+        for fresh in tokens:
+            assert app.handle("POST", "/api/v1/logout", token=fresh).ok
+        return bodies
+
     # name -> (callable, HTTP requests issued per call)
     return {
         "ext3a_repeated_view": (view, 1),
@@ -159,6 +201,7 @@ def make_mixes(app, profile, world, token, reco_token):
         "ext3c_session_lifecycle": (lifecycle, 3),
         "ext4a_repeated_recommendations": (recommendations, 1),
         "ext4b_recommendation_mix": (recommendation_mix, 3),
+        "ext5a_shared_selection_fanout": (shared_selection_fanout, 12),
     }
 
 
@@ -178,6 +221,71 @@ def rows_scanned(app, token) -> int:
     return response.json()["fact_rows_scanned"]
 
 
+def _ext5b_sequence(bundle, enabled: bool, steps: int) -> list:
+    """Replay the append-heavy sequence on a fresh portal, returning the
+    response bodies (the dedicated transparency gate compares them)."""
+    world, star, engine, profile, app, _tokens = bundle
+    set_caches(app, engine, star, enabled)
+    token = login(app, profile, world)
+    fact_table = star.fact_table()
+    template = fact_table.row(0)
+    coordinates = {d: template[d] for d in fact_table.fact.dimension_names}
+    measures = {m: template[m] for m in fact_table.fact.measures}
+    fact_name = fact_table.fact.name
+    bodies = []
+    for _ in range(steps):
+        star.insert_fact(fact_name, coordinates, measures)
+        view = app.handle("GET", "/api/v1/view", token=token)
+        assert view.ok, view.body
+        query = app.handle(
+            "POST", "/api/v1/query", {"q": QUERY, "limit": 10}, token=token
+        )
+        assert query.ok, query.body
+        bodies.append([view.json(), query.json()])
+    return bodies
+
+
+def bench_ext5b(scale: str, rounds: int) -> dict:
+    """Time the append-heavy mix on a fresh portal per mode.
+
+    The mix mutates the star (every round appends one fact row before a
+    view and a query request), so both the gate replay and the timing run
+    on independent, identically-seeded portals instead of the shared one
+    the stateless mixes reuse.
+    """
+    steps = max(rounds // 20, 10)
+    gate_steps = min(steps, 25)
+    uncached_bodies = _ext5b_sequence(build_portal(scale), False, gate_steps)
+    cached_bodies = _ext5b_sequence(build_portal(scale), True, gate_steps)
+    assert uncached_bodies == cached_bodies, (
+        "ext5b_append_heavy: cached response differs"
+    )
+
+    result: dict = {}
+    for label, enabled in (("before", False), ("after", True)):
+        bundle = build_portal(scale)
+        engine = bundle[2]
+        store_before = (
+            engine.view_store.stats() if engine.view_store is not None else {}
+        )
+        started = time.perf_counter()
+        _ext5b_sequence(bundle, enabled, steps)
+        elapsed = time.perf_counter() - started
+        # Two HTTP requests per step (the append is in-process storage).
+        result[f"{label}_req_per_s"] = round(2 * steps / elapsed, 1)
+        if enabled and engine.view_store is not None:
+            after = engine.view_store.stats()
+            result["view_store"] = {
+                key: after[key] - store_before.get(key, 0)
+                for key in ("builds", "patches", "invalidations")
+            }
+    result["speedup"] = round(
+        result["after_req_per_s"] / result["before_req_per_s"], 2
+    )
+    result["rounds"] = steps
+    return result
+
+
 def run(scale: str, rounds: int, out_path: str | None) -> dict:
     world, star, engine, profile, app, demo_tokens = build_portal(scale)
     token = login(app, profile, world)
@@ -191,6 +299,7 @@ def run(scale: str, rounds: int, out_path: str | None) -> dict:
         "ext3c_session_lifecycle": max(rounds // 20, 5),
         "ext4a_repeated_recommendations": max(rounds // 4, 10),
         "ext4b_recommendation_mix": max(rounds // 10, 10),
+        "ext5a_shared_selection_fanout": max(rounds // 20, 5),
     }
 
     # Transparency gate: every mix must answer identically in both modes.
@@ -204,7 +313,7 @@ def run(scale: str, rounds: int, out_path: str | None) -> dict:
         assert uncached == cached, f"{name}: cached response differs"
 
     results: dict = {
-        "series": "EXT3+EXT4",
+        "series": "EXT3+EXT4+EXT5",
         "scale": scale,
         "rounds": per_mix_rounds,
         "python": platform.python_version(),
@@ -219,6 +328,9 @@ def run(scale: str, rounds: int, out_path: str | None) -> dict:
         before = time_mix(fn, mix_rounds) * weight
         scanned_before = rows_scanned(app, token) if is_query_mix else None
         set_caches(app, engine, star, True)
+        store_before = (
+            engine.view_store.stats() if engine.view_store is not None else None
+        )
         after = time_mix(fn, mix_rounds) * weight
         scanned_after = rows_scanned(app, token) if is_query_mix else None
         results["mixes"][name] = {
@@ -229,6 +341,14 @@ def run(scale: str, rounds: int, out_path: str | None) -> dict:
         if is_query_mix:
             results["mixes"][name]["fact_rows_scanned_before"] = scanned_before
             results["mixes"][name]["fact_rows_scanned_after"] = scanned_after
+        if name == "ext5a_shared_selection_fanout" and store_before is not None:
+            # The acceptance claim: (1 + rounds) fan-outs of 4 sessions
+            # each materialized their view from ONE shared build.
+            store_after = engine.view_store.stats()
+            results["mixes"][name]["view_store"] = {
+                key: store_after[key] - store_before[key]
+                for key in ("builds", "hits", "patches")
+            }
         scanned = (
             f", rows scanned {scanned_before} -> {scanned_after}"
             if is_query_mix
@@ -238,6 +358,14 @@ def run(scale: str, rounds: int, out_path: str | None) -> dict:
             f"[{name}] {before:,.0f} -> {after:,.0f} req/s "
             f"({after / before:.1f}x){scanned}"
         )
+
+    results["mixes"]["ext5b_append_heavy"] = ext5b = bench_ext5b(scale, rounds)
+    results["rounds"]["ext5b_append_heavy"] = ext5b.pop("rounds")
+    print(
+        f"[ext5b_append_heavy] {ext5b['before_req_per_s']:,.0f} -> "
+        f"{ext5b['after_req_per_s']:,.0f} req/s ({ext5b['speedup']:.1f}x), "
+        f"view store {ext5b['view_store']}"
+    )
 
     if out_path:
         Path(out_path).write_text(json.dumps(results, indent=2) + "\n")
@@ -265,6 +393,26 @@ def main() -> int:
     ext4a = results["mixes"]["ext4a_repeated_recommendations"]
     if ext4a["speedup"] < 2.0:
         print(f"FAIL: EXT4a speedup {ext4a['speedup']}x < 2x", file=sys.stderr)
+        return 1
+    # The PR 4 bars are structural, not timing-based (robust in CI smoke):
+    # (a) the shared-selection fan-out materialized every session's view
+    # from exactly one build; (b) the append-heavy mix patched views
+    # instead of rebuilding them.
+    ext5a_store = results["mixes"]["ext5a_shared_selection_fanout"]["view_store"]
+    if ext5a_store["builds"] != 1:
+        print(
+            f"FAIL: EXT5a fan-out built {ext5a_store['builds']} views, "
+            f"expected 1 shared build",
+            file=sys.stderr,
+        )
+        return 1
+    ext5b_store = results["mixes"]["ext5b_append_heavy"]["view_store"]
+    if ext5b_store["builds"] > 1 or ext5b_store["patches"] < 1:
+        print(
+            f"FAIL: EXT5b append-heavy mix did not avoid rebuilds: "
+            f"{ext5b_store}",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

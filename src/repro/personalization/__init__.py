@@ -14,6 +14,7 @@ from repro.personalization.engine import (
     RulePhase,
     classify_rule,
 )
+from repro.personalization.view_store import ViewStore
 
 __all__ = [
     "PersonalizationEngine",
@@ -21,5 +22,6 @@ __all__ = [
     "PersonalizedView",
     "RegisteredRule",
     "RulePhase",
+    "ViewStore",
     "classify_rule",
 ]

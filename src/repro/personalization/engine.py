@@ -24,6 +24,7 @@ location context.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -49,7 +50,8 @@ from repro.prml.evaluator import (
 from repro.prml.parser import parse_expression, parse_path, parse_rule
 from repro.prml.printer import print_expr
 from repro.prml.semantics import SemanticAnalyzer
-from repro.storage.star import StarSchema
+from repro.personalization.view_store import ViewStore
+from repro.storage.star import StarMutation, StarSchema
 from repro.sus.model import UserModelSchema, UserProfile
 
 __all__ = [
@@ -58,6 +60,7 @@ __all__ = [
     "PersonalizedView",
     "PersonalizedSession",
     "PersonalizationEngine",
+    "ViewStore",
 ]
 
 
@@ -164,9 +167,16 @@ class PersonalizedSession:
     materialized view without re-scanning the fact table, and any
     selection change (acquisition rules, instance re-runs) or star
     mutation (schema rules, data loads) makes the stamp differ, forcing a
-    rebuild.  The memo is per-session state — it can never leak across
-    sessions or tenants.  Set ``engine.enable_caches = False`` to rebuild
-    on every call (transparency switch).
+    refresh.  On a memo miss the session first consults the engine's
+    shared :class:`~repro.personalization.view_store.ViewStore` —
+    sessions whose selections hold the same content share one
+    materialization there — and only builds privately when the store is
+    disabled.  The memo itself stays per-session (one dict compare in
+    steady state, no store lock) and is guarded by ``_memo_lock``: the
+    threaded HTTP adapter can hit one session concurrently, and the
+    unlocked check-then-act used to let two threads race the dict.  Set
+    ``engine.enable_caches = False`` to rebuild on every call
+    (transparency switch).
     """
 
     engine: "PersonalizationEngine"
@@ -177,6 +187,9 @@ class PersonalizedSession:
     #: fact name -> ((selection generation, star generation), view)
     _view_memo: dict[str | None, tuple[tuple[int, int], PersonalizedView]] = field(
         default_factory=dict, repr=False
+    )
+    _memo_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
     )
 
     @property
@@ -200,13 +213,24 @@ class PersonalizedSession:
     def view(self, fact: str | None = None) -> PersonalizedView:
         """Materialize the personalized view for downstream BI tools."""
         fact_name = self._resolve_fact(fact)
+        if not self.engine.enable_caches:
+            return self._build_view(fact_name)
         stamp = (self.context.selection.generation, self.context.star.generation)
-        if self.engine.enable_caches:
+        with self._memo_lock:
             memoized = self._view_memo.get(fact_name)
             if memoized is not None and memoized[0] == stamp:
                 return memoized[1]
-        view = self._build_view(fact_name)
-        if self.engine.enable_caches:
+        store = self.engine.view_store
+        if store is not None:
+            view = store.get_or_build(
+                self.context.star,
+                self.context.geomd_schema,
+                fact_name,
+                self.context.selection,
+            )
+        else:
+            view = self._build_view(fact_name)
+        with self._memo_lock:
             self._view_memo[fact_name] = (stamp, view)
         return view
 
@@ -273,6 +297,8 @@ class PersonalizationEngine:
         validate_rules: bool = True,
         session_factory: Callable[..., PersonalizedSession] | None = None,
         enable_caches: bool = True,
+        view_store_size: int = 128,
+        incremental_views: bool = True,
     ) -> None:
         schema = star.schema
         if not isinstance(schema, GeoMDSchema):
@@ -288,11 +314,24 @@ class PersonalizationEngine:
         self.metric = metric or PlanarMetric()
         self.snap_tolerance = snap_tolerance
         self.validate_rules = validate_rules
-        #: Master switch for the generation-keyed view memo (sessions read
-        #: it on every ``view()`` call, so flipping it at runtime takes
-        #: effect immediately — the benchmark harness uses this to prove
-        #: cached and uncached responses are identical).
+        #: Master switch for the generation-keyed view memo *and* the
+        #: shared view store (sessions read it on every ``view()`` call,
+        #: so flipping it at runtime takes effect immediately — the
+        #: benchmark harness uses this to prove cached and uncached
+        #: responses are identical).
         self.enable_caches = enable_caches
+        #: Shared materialized-view store: sessions with content-equal
+        #: selections share one build, fact appends patch instead of
+        #: rebuilding.  ``view_store_size=0`` removes it (sessions fall
+        #: back to private memo + rebuild); ``incremental_views=False``
+        #: keeps sharing but turns fact deltas back into invalidations.
+        self.view_store: ViewStore | None = (
+            ViewStore(view_store_size, incremental=incremental_views)
+            if view_store_size > 0
+            else None
+        )
+        if self.view_store is not None:
+            star.add_mutation_listener(self._on_star_mutation)
         self.rules: list[RegisteredRule] = []
         #: Hook points for service layers: a custom session class and
         #: observers fired after SessionStart rules have run (used e.g.
@@ -305,6 +344,29 @@ class PersonalizationEngine:
     ) -> None:
         """Register an observer called with each newly started session."""
         self._session_hooks.append(hook)
+
+    def _on_star_mutation(self, mutation: StarMutation) -> None:
+        """Maintain the shared view store on every star mutation.
+
+        Fact appends carry a typed delta and are patched incrementally;
+        member/feature/schema mutations have no delta shape and fall back
+        to full invalidation (next ``view()`` rebuilds on demand).
+        """
+        store = self.view_store
+        if store is not None:
+            store.on_mutation(self.star, mutation)
+
+    def detach(self) -> None:
+        """Stop maintaining the view store against the star.
+
+        An engine registers a mutation listener for its store at
+        construction and the star holds it strongly; code that replaces
+        an engine over a live star calls this so the superseded store
+        stops being patched and can be collected.
+        """
+        if self.view_store is not None:
+            self.star.remove_mutation_listener(self._on_star_mutation)
+            self.view_store.invalidate()
 
     # -- rule repository -----------------------------------------------------
 

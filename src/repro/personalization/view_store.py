@@ -1,0 +1,283 @@
+"""The engine-owned shared materialized-view store.
+
+PR 2 memoized each :class:`~repro.personalization.engine.PersonalizedView`
+*per session*; a thousand analysts with the same personalization outcome
+paid a thousand identical fact-table scans, and any star mutation threw
+every view away.  This store makes materialized views shared, maintained
+warehouse objects (the shift the user-centric-warehouse survey line of
+related work describes):
+
+* **Sharing** — views are keyed on ``(fact, selection fingerprint, star
+  generation)``.  The fingerprint is the *content* identity of a
+  :class:`~repro.prml.evaluator.SelectionSet` (sorted member/feature
+  triples, see :meth:`SelectionSet.fingerprint`), not the per-session
+  uid, so any number of sessions whose selections are equal share one
+  build.  Tenant isolation is structural: each engine owns its own store
+  over its own star.
+* **Incremental maintenance** — fact appends arrive as typed
+  :class:`~repro.storage.star.StarMutation` deltas carrying the appended
+  row ids.  Instead of rebuilding, every live view is *patched*: the
+  delta rows are filtered through the view's selection and the survivors
+  appended.  Views over other fact tables of a multi-fact star are
+  carried to the new generation untouched.  Member/feature/schema
+  mutations have no delta shape, so they keep the PR 2 fallback: full
+  invalidation, rebuild on next demand.
+* **Bounds and transparency** — the store is LRU-bounded (``max_size``)
+  and thread-safe; ``PersonalizationEngine(view_store_size=0)`` removes
+  it entirely (sessions fall back to their private memo + rebuilds) and
+  ``incremental=False`` turns every fact delta back into an invalidation,
+  the off-switches the benchmark harness uses to prove both layers are
+  transparent.
+
+This deliberately does *not* reuse :class:`repro.lru.ThreadSafeLRU`:
+the store's defining operations — single-flight builds under the lock
+and wholesale generational *rekeying* of the map on every fact delta —
+are not LRU-map semantics, and bolting them onto the shared primitive
+would complicate every other owner for one consumer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.storage.star import StarMutation, StarSchema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.geomd.schema import GeoMDSchema
+    from repro.personalization.engine import PersonalizedView
+    from repro.prml.evaluator import SelectionSet
+
+__all__ = ["ViewStore"]
+
+#: (fact name, selection fingerprint, star generation)
+_Key = tuple[str, str, int]
+
+
+class _Entry:
+    """One stored view plus its lazily-resolved patch filter.
+
+    ``relevant`` caches ``selection.relevant_leaf_keys`` (the projected
+    row filter) the first time the entry is patched: only member/feature/
+    schema mutations could change it and those invalidate the whole
+    store, so within an entry's lifetime the projection is immutable and
+    appends pay plain set-membership checks instead of re-resolving
+    roll-ups per insert.
+    """
+
+    __slots__ = ("view", "relevant")
+
+    def __init__(self, view: "PersonalizedView") -> None:
+        self.view = view
+        self.relevant: dict[str, set[str]] | None = None
+
+
+class ViewStore:
+    """Thread-safe, LRU-bounded store of shared materialized views."""
+
+    def __init__(self, max_size: int = 128, incremental: bool = True) -> None:
+        if max_size < 1:
+            raise ValueError(
+                "max_size must be >= 1 (disable the store with "
+                "PersonalizationEngine(view_store_size=0) instead)"
+            )
+        self.max_size = max_size
+        #: When False, fact deltas degrade to full invalidation (the
+        #: incremental-maintenance off-switch; runtime-mutable).
+        self.incremental = incremental
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[_Key, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+        self.patches = 0
+        self.carries = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- lookup / build -------------------------------------------------------
+
+    def get_or_build(
+        self,
+        star: StarSchema,
+        schema: "GeoMDSchema",
+        fact: str,
+        selection: "SelectionSet",
+    ) -> "PersonalizedView":
+        """The shared view for ``(fact, selection content, star state)``.
+
+        Builds at most once per key: the store lock is held across the
+        build, so N sessions racing on an identical cold selection pay
+        one fact scan, not N (single-flight).  The accepted trade: cold
+        builds of *different* selections serialize behind it, and a
+        mutation's ``on_mutation`` delivery waits for an in-flight build
+        (never the reverse — ``note_*_change`` releases the star's cache
+        lock before notifying, so the two locks cannot deadlock).
+        """
+        with self._lock:
+            key = (fact, selection.fingerprint(), star.generation)
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry.view
+            self.misses += 1
+            # Snapshot the live selection, then key the entry by the
+            # *snapshot's* fingerprint: a concurrent acquisition rule
+            # growing the selection between lookup and build must not
+            # store the new content under the old content's key (that
+            # would silently serve another session's rows to everyone
+            # whose selection still fingerprints to the old key).
+            frozen = selection.snapshot()
+            key = (fact, frozen.fingerprint(), star.generation)
+            view = self._build(star, schema, fact, frozen)
+            self.builds += 1
+            self._entries[key] = _Entry(view)
+            self._trim()
+            return view
+
+    def _build(
+        self,
+        star: StarSchema,
+        schema: "GeoMDSchema",
+        fact: str,
+        frozen: "SelectionSet",
+    ) -> "PersonalizedView":
+        """Materialize from an already-frozen selection (the stored view
+        must not alias live session state — the session keeps mutating
+        its selection while other sessions read the shared view)."""
+        from repro.personalization.engine import PersonalizedView
+
+        if frozen.is_empty:
+            fact_rows = list(star.fact_table(fact).row_ids())
+        else:
+            fact_rows = frozen.fact_row_ids(star, fact)
+        return PersonalizedView(
+            star=star,
+            schema=schema,
+            selection=frozen,
+            fact_rows=fact_rows,
+            fact=fact,
+        )
+
+    # -- maintenance ----------------------------------------------------------
+
+    def on_mutation(self, star: StarSchema, mutation: StarMutation) -> None:
+        """React to one star mutation (the engine's listener target)."""
+        if mutation.is_fact_delta and self.incremental:
+            self._apply_fact_delta(star, mutation)
+        else:
+            self.invalidate()
+
+    def _apply_fact_delta(
+        self, star: StarSchema, mutation: StarMutation
+    ) -> None:
+        """Patch every live view instead of rebuilding it.
+
+        Only entries exactly one generation behind the delta are
+        patchable; anything older missed an intermediate mutation and is
+        dropped (the build path recreates it on demand).  Entries over
+        *other* facts of a multi-fact star are unaffected by a fact append
+        and are carried to the new generation as-is.
+        """
+        with self._lock:
+            # One coordinates lookup per delta row, shared by every
+            # patched entry (they all target mutation.fact) — not one per
+            # entry per row while holding the store lock.
+            row_coordinates: dict[int, dict[str, str]] | None = None
+            for key in list(self._entries):
+                fact, fingerprint, generation = key
+                entry = self._entries.pop(key)
+                if generation != mutation.generation - 1:
+                    self.invalidations += 1
+                    continue
+                new_key = (fact, fingerprint, mutation.generation)
+                if fact != mutation.fact:
+                    self._entries[new_key] = entry
+                    self.carries += 1
+                    continue
+                if row_coordinates is None:
+                    fact_table = star.fact_table(mutation.fact)
+                    row_coordinates = {
+                        row_id: fact_table.coordinates(row_id)
+                        for row_id in mutation.row_ids
+                    }
+                entry.view = self._patch(
+                    star, entry, mutation.row_ids, row_coordinates
+                )
+                self._entries[new_key] = entry
+                self.patches += 1
+            self._trim()
+
+    def _patch(
+        self,
+        star: StarSchema,
+        entry: _Entry,
+        row_ids: tuple[int, ...],
+        row_coordinates: dict[int, dict[str, str]],
+    ) -> "PersonalizedView":
+        from repro.personalization.engine import PersonalizedView
+
+        view = entry.view
+        # fact_rows are ascending; a build that raced the append may have
+        # already scanned the new rows, so only genuinely-new ids append
+        # (guards against double-counting).
+        last = view.fact_rows[-1] if view.fact_rows else -1
+        fresh = [row_id for row_id in row_ids if row_id > last]
+        selection = view.selection
+        if fresh and not selection.is_empty:
+            if entry.relevant is None:
+                entry.relevant = selection.relevant_leaf_keys(
+                    star, star.fact_table(view.fact)
+                )
+            if entry.relevant:
+                fresh = [
+                    row_id
+                    for row_id in fresh
+                    if selection.row_matches(
+                        row_coordinates[row_id], entry.relevant
+                    )
+                ]
+        if not fresh:
+            return view
+        return PersonalizedView(
+            star=view.star,
+            schema=view.schema,
+            selection=selection,
+            fact_rows=view.fact_rows + fresh,
+            fact=view.fact,
+        )
+
+    def invalidate(self) -> None:
+        """Drop every entry (member/feature/schema mutation fallback)."""
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+
+    # -- bounds / introspection -----------------------------------------------
+
+    def _trim(self) -> None:
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters for the health endpoint and the benchmark harness."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_size": self.max_size,
+                "incremental": self.incremental,
+                "hits": self.hits,
+                "misses": self.misses,
+                "builds": self.builds,
+                "patches": self.patches,
+                "carries": self.carries,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

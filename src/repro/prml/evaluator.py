@@ -16,11 +16,12 @@ The evaluator executes a rule body (the engine in
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Protocol
 
-from repro.errors import PRMLRuntimeError, SchemaError, UserModelError
+from repro.errors import PRMLRuntimeError, SchemaError, StorageError, UserModelError
 from repro.geomd.schema import GEOMETRY_ATTRIBUTE, GeoMDSchema
 from repro.geometry import Geometry, Metric, PlanarMetric
 from repro.mdm.model import MDSchema, ResolvedLevel
@@ -106,10 +107,12 @@ class SelectionSet:
 
     Each set carries a process-unique :attr:`uid` and a monotonic
     :attr:`generation` bumped whenever the selection actually grows.
-    ``(uid, generation)`` is the cache identity downstream memos (the
-    personalized-view memo, the service query cache) key on: the uid keeps
-    one session's cache entries from ever answering for another session,
-    and the generation invalidates them the moment the selection changes.
+    ``(uid, generation)`` is a *session-private* cache identity (used e.g.
+    by the recommendation memo); :meth:`fingerprint` is the *content*
+    identity — two sessions whose selections hold the same member/feature
+    triples produce the same fingerprint, which is what lets the shared
+    view store and the service query cache serve one materialization to
+    any number of sessions with identical selections.
     """
 
     _uid_source = itertools.count(1)
@@ -119,6 +122,8 @@ class SelectionSet:
         self.features: dict[str, set[str]] = {}
         self.uid = next(SelectionSet._uid_source)
         self.generation = 0
+        # (generation, digest) — recomputed only after the selection grows.
+        self._fingerprint: tuple[int, str] | None = None
 
     def add_member(self, dimension: str, level: str, key: str) -> None:
         keys = self.members.setdefault((dimension, level), set())
@@ -148,17 +153,117 @@ class SelectionSet:
             for key in keys
         ]
 
+    def fingerprint(self) -> str:
+        """Canonical, content-based identity of this selection.
+
+        A digest over the sorted member triples and feature pairs —
+        deliberately *not* the per-session :attr:`uid` — so two sessions
+        that selected the same instances (however they got there) key the
+        same shared materialized view / query-cache entry.  Cached per
+        :attr:`generation`; the steady-state request path pays one dict
+        compare, not a re-hash.
+        """
+        cached = self._fingerprint
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        payload = repr(
+            (
+                sorted(self.member_triples()),
+                sorted(
+                    (layer, name)
+                    for layer, names in self.features.items()
+                    for name in names
+                ),
+            )
+        )
+        digest = hashlib.sha1(payload.encode("utf-8")).hexdigest()
+        self._fingerprint = (self.generation, digest)
+        return digest
+
+    def snapshot(self) -> "SelectionSet":
+        """A deep-copied, content-equal selection.
+
+        Shared materialized views must not alias a live session's
+        selection: the session may keep growing it (acquisition rules)
+        while other sessions still hold the shared view.  The snapshot has
+        its own uid — it is a warehouse object, not session state.
+        """
+        clone = SelectionSet()
+        clone.members = {key: set(keys) for key, keys in self.members.items()}
+        clone.features = {
+            layer: set(names) for layer, names in self.features.items()
+        }
+        clone.generation = self.generation
+        clone._fingerprint = self._fingerprint
+        return clone
+
+    @staticmethod
+    def _member_exists(table, level: str, key: str) -> bool:
+        try:
+            table.member(level, key)
+        except StorageError:
+            return False
+        return True
+
     def allowed_leaf_keys(self, star: StarSchema) -> dict[str, set[str]]:
-        """Per-dimension allowed leaf keys implied by member selections."""
+        """Per-dimension allowed leaf keys implied by member selections.
+
+        Selections can outlive the data they named (snapshot reloads,
+        journal replays, rules selecting against since-mutated members):
+        stale entries — a dimension, level or member key no longer in the
+        star — are *dropped* instead of raising on the request path,
+        mirroring the journal-profile degradation in
+        :func:`repro.reco.similarity.build_spatial_profile`.  A selection
+        whose every key for some dimension went stale leaves that
+        dimension unrestricted again; keys that still exist keep
+        restricting it.
+        """
         out: dict[str, set[str]] = {}
         for (dimension, level), keys in self.members.items():
-            table = star.dimension_table(dimension)
+            try:
+                table = star.dimension_table(dimension)
+            except StorageError:
+                continue  # dimension no longer in the star
+            live = {
+                key for key in keys if self._member_exists(table, level, key)
+            }
+            if not live:
+                continue  # every selected key went stale
             if level == table.dimension.leaf:
-                leaf_keys = set(keys)
+                leaf_keys = live
             else:
-                leaf_keys = star.leaf_keys_rolled_to(dimension, level, keys)
+                try:
+                    leaf_keys = star.leaf_keys_rolled_to(
+                        dimension, level, live
+                    )
+                except (SchemaError, StorageError):
+                    continue  # level fell off every hierarchy path
             out.setdefault(dimension, set()).update(leaf_keys)
         return out
+
+    def relevant_leaf_keys(self, star: StarSchema, fact_table) -> dict[str, set[str]]:
+        """Allowed leaf keys projected onto one fact's dimensions.
+
+        This is *the* row filter of a personalized view: a fact row
+        survives iff every relevant dimension's key is in its set (see
+        :meth:`row_matches`).  Full builds (:meth:`fact_row_ids`) and the
+        view store's incremental patches share this projection so the two
+        paths can never diverge.
+        """
+        return {
+            dim: keys
+            for dim, keys in self.allowed_leaf_keys(star).items()
+            if dim in fact_table.fact.dimension_names
+        }
+
+    @staticmethod
+    def row_matches(
+        coordinates: dict[str, str], relevant: dict[str, set[str]]
+    ) -> bool:
+        """Whether one fact row's keys survive the projected selection."""
+        return all(
+            coordinates[dim] in keys for dim, keys in relevant.items()
+        )
 
     def fact_row_ids(self, star: StarSchema, fact: str | None = None) -> list[int]:
         """Fact rows surviving the member selections (ascending row ids).
@@ -168,12 +273,7 @@ class SelectionSet:
         per-dimension row sets intersected — no full-column scan.
         """
         fact_table = star.fact_table(fact)
-        allowed = self.allowed_leaf_keys(star)
-        relevant = {
-            dim: keys
-            for dim, keys in allowed.items()
-            if dim in fact_table.fact.dimension_names
-        }
+        relevant = self.relevant_leaf_keys(star, fact_table)
         if not relevant:
             return list(fact_table.row_ids())
         if star.use_indexes:

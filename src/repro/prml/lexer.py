@@ -9,7 +9,9 @@ Token categories:
   an immediately attached unit: ``5km``, ``250m``), geometric type names
   are plain identifiers resolved by the parser;
 * operators — ``= <> < <= > >= + - * /``;
-* punctuation — ``( ) , . :``.
+* punctuation — ``( ) , . : $`` (``$`` prefixes an identifier to force
+  it to a parameter reference where a Foreach variable of the same name
+  would otherwise capture the bare spelling).
 """
 
 from __future__ import annotations
@@ -41,7 +43,7 @@ KEYWORDS = frozenset(
 )
 
 _OPERATORS = ("<=", ">=", "<>", "=", "<", ">", "+", "-", "*", "/")
-_PUNCTUATION = "(),.:"
+_PUNCTUATION = "(),.:$"
 
 
 class TokenKind:

@@ -398,6 +398,13 @@ class _Parser:
             inner = self.parse_expr()
             self.expect_punct(")")
             return inner
+        if self.at_punct("$"):
+            # Explicit parameter escape: a bare identifier is
+            # context-sensitive (Foreach variable if bound, parameter
+            # otherwise), so ``$name`` is the spelling the printer uses
+            # when a loop variable would capture the parameter's name.
+            self.advance()
+            return ParameterRef(self.expect_ident().value)
         if token.kind == TokenKind.IDENT:
             # Spatial function call?
             if token.value in _SPATIAL_NAMES:

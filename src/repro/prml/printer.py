@@ -58,23 +58,35 @@ _PRECEDENCE = {
 _NOT_PRECEDENCE = 3
 
 
-def print_expr(expr: Expr, parent_precedence: int = 0) -> str:
+def print_expr(
+    expr: Expr,
+    parent_precedence: int = 0,
+    bound: frozenset[str] = frozenset(),
+) -> str:
     """Render an expression with minimal (but sufficient) parenthesization.
 
     Comparisons are *non-associative* in the grammar, so a comparison
     operand of another comparison is always parenthesized; ``not`` is only
     valid at the logical level, so it is parenthesized under any tighter
     context.
+
+    ``bound`` carries the Foreach variables in scope: a bare identifier
+    is context-sensitive (variable if bound, parameter otherwise), so a
+    :class:`ParameterRef` whose name is shadowed by a loop variable must
+    print with the explicit ``$name`` escape or the re-parse would
+    capture it as the variable.
     """
-    if isinstance(expr, (PathExpr, VarPath, NumberLit, StringLit, QuantityLit, GeomTypeLit, ParameterRef)):
+    if isinstance(expr, ParameterRef):
+        return f"${expr.name}" if expr.name in bound else expr.name
+    if isinstance(expr, (PathExpr, VarPath, NumberLit, StringLit, QuantityLit, GeomTypeLit)):
         return str(expr)
     if isinstance(expr, NotOp):
-        text = f"not {print_expr(expr.operand, _NOT_PRECEDENCE + 1)}"
+        text = f"not {print_expr(expr.operand, _NOT_PRECEDENCE + 1, bound)}"
         if parent_precedence > _NOT_PRECEDENCE:
             return f"({text})"
         return text
     if isinstance(expr, SpatialCall):
-        args = ", ".join(print_expr(a) for a in expr.args)
+        args = ", ".join(print_expr(a, bound=bound) for a in expr.args)
         return f"{expr.function.value}({args})"
     if isinstance(expr, BinaryOp):
         precedence = _PRECEDENCE[expr.op]
@@ -84,9 +96,9 @@ def print_expr(expr: Expr, parent_precedence: int = 0) -> str:
         # same level; left-associative operators only the right one.
         left_floor = precedence + 1 if expr.op.is_comparison else precedence
         text = (
-            f"{print_expr(expr.left, left_floor)}"
+            f"{print_expr(expr.left, left_floor, bound)}"
             f"{separator}"
-            f"{print_expr(expr.right, precedence + 1)}"
+            f"{print_expr(expr.right, precedence + 1, bound)}"
         )
         if precedence < parent_precedence:
             return f"({text})"
@@ -106,30 +118,34 @@ def print_event(event: Event) -> str:
     raise PRMLError(f"cannot print event {type(event).__name__}")
 
 
-def _print_stmt(stmt: Stmt, indent: int) -> list[str]:
+def _print_stmt(
+    stmt: Stmt, indent: int, bound: frozenset[str] = frozenset()
+) -> list[str]:
     pad = "  " * indent
     if isinstance(stmt, IfStmt):
-        lines = [f"{pad}If ({print_expr(stmt.condition)}) then"]
+        lines = [f"{pad}If ({print_expr(stmt.condition, bound=bound)}) then"]
         for inner in stmt.then_body:
-            lines.extend(_print_stmt(inner, indent + 1))
+            lines.extend(_print_stmt(inner, indent + 1, bound))
         if stmt.else_body:
             lines.append(f"{pad}else")
             for inner in stmt.else_body:
-                lines.extend(_print_stmt(inner, indent + 1))
+                lines.extend(_print_stmt(inner, indent + 1, bound))
         lines.append(f"{pad}endIf")
         return lines
     if isinstance(stmt, ForeachStmt):
         variables = ", ".join(stmt.variables)
         sources = ", ".join(str(s) for s in stmt.sources)
         lines = [f"{pad}Foreach {variables} in ({sources})"]
+        inner_bound = bound | set(stmt.variables)
         for inner in stmt.body:
-            lines.extend(_print_stmt(inner, indent + 1))
+            lines.extend(_print_stmt(inner, indent + 1, inner_bound))
         lines.append(f"{pad}endForeach")
         return lines
     if isinstance(stmt, SetContentAction):
-        return [f"{pad}SetContent({stmt.target}, {print_expr(stmt.value)})"]
+        value = print_expr(stmt.value, bound=bound)
+        return [f"{pad}SetContent({stmt.target}, {value})"]
     if isinstance(stmt, SelectInstanceAction):
-        return [f"{pad}SelectInstance({print_expr(stmt.instance)})"]
+        return [f"{pad}SelectInstance({print_expr(stmt.instance, bound=bound)})"]
     if isinstance(stmt, BecomeSpatialAction):
         return [f"{pad}BecomeSpatial({stmt.element}, {stmt.geometric_type})"]
     if isinstance(stmt, AddLayerAction):

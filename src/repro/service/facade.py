@@ -15,11 +15,15 @@ the uniform error envelope.  The service owns:
   query, spatial-selection events, instance-rule rerun, layer export)
   with ``limit``/``offset`` pagination on list-shaped results;
 * a small LRU cache over query *results* keyed on ``(datamart,
-  stripped query text, selection uid+generation, star generation)`` —
-  the generation stamps implement the same invalidation protocol as the
-  engine's view memo (any selection change or star mutation is a miss),
-  and the selection uid makes one session's entries unreachable from any
-  other session or tenant.  ``query_cache_size=0`` disables it.
+  stripped query text, selection fingerprint, star generation)`` — the
+  generation stamp implements the same invalidation protocol as the
+  engine's view store (any star mutation is a miss), and the selection
+  fingerprint is the *content* identity of the session's selection: two
+  sessions of one tenant whose personalization landed on the same
+  instances share a cache entry, while the datamart name keeps tenants
+  strictly apart.  Cached payload rows are frozen as tuples so a consumer
+  mutating a returned row can never poison later hits.
+  ``query_cache_size=0`` disables it.
 """
 
 from __future__ import annotations
@@ -59,11 +63,18 @@ class CellSetPayload(NamedTuple):
 
     Pagination is applied per request on top of a cached payload, so two
     requests differing only in ``limit``/``offset`` share one entry.
+
+    ``rows`` is a tuple of tuples — *frozen*.  The payload is shared by
+    every later cache hit (and, with fingerprint keys, by other
+    sessions), so handing out references to mutable inner row lists would
+    let one consumer's in-place edit silently corrupt every subsequent
+    response; :meth:`PersonalizationService._paged_result` materializes
+    fresh lists per request instead.
     """
 
-    axes: list[str]
-    labels: list
-    rows: list[list]
+    axes: tuple[str, ...]
+    labels: tuple
+    rows: tuple[tuple, ...]
     fact_rows_scanned: int
     fact_rows_matched: int
 
@@ -189,8 +200,13 @@ class PersonalizationService:
                     # the parse entirely; malformed queries never populate
                     # the cache and keep raising on every request.
                     request.q.strip(),
-                    selection.uid,
-                    selection.generation,
+                    # Content fingerprint, not the session uid: sessions
+                    # of one tenant whose selections hold the same
+                    # instances share the entry (and a selection change
+                    # changes the fingerprint — same invalidation as the
+                    # old uid+generation pair).  The datamart component
+                    # keeps tenants isolated.
+                    selection.fingerprint(),
                     session.context.star.generation,
                 )
                 payload = self._query_cache.get(cache_key)
@@ -213,9 +229,11 @@ class PersonalizationService:
                 view.star, query, row_selection, session.engine.metric
             )
             payload = CellSetPayload(
-                axes=[str(a) for a in cell_set.axes],
-                labels=list(cell_set.labels),
-                rows=[list(row) for row in cell_set.to_rows()],
+                axes=tuple(str(a) for a in cell_set.axes),
+                labels=tuple(cell_set.labels),
+                # to_rows() already yields tuples; freezing the outer
+                # sequence too makes the whole cached payload immutable.
+                rows=tuple(cell_set.to_rows()),
                 fact_rows_scanned=cell_set.fact_rows_scanned,
                 fact_rows_matched=cell_set.fact_rows_matched,
             )
@@ -234,6 +252,8 @@ class PersonalizationService:
         return QueryResult(
             axes=list(payload.axes),
             labels=list(payload.labels),
+            # Fresh lists per request: the cached payload rows are frozen
+            # tuples, and no two responses may share mutable state.
             rows=[list(row) for row in rows],
             fact_rows_scanned=payload.fact_rows_scanned,
             fact_rows_matched=payload.fact_rows_matched,
@@ -407,6 +427,13 @@ class PersonalizationService:
                     "name": dm.name,
                     "sessions_started": self._sessions_started.get(dm.name, 0),
                     "star_generation": dm.engine.star.generation,
+                    # Shared materialized-view store counters (None when
+                    # the tenant's engine runs with view_store_size=0).
+                    "view_store": (
+                        dm.engine.view_store.stats()
+                        if dm.engine.view_store is not None
+                        else None
+                    ),
                 }
                 for dm in sorted(self.registry, key=lambda d: d.name)
             ],

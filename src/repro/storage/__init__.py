@@ -6,7 +6,7 @@ and JSON snapshot persistence.
 """
 
 from repro.storage.snapshot import load_star, save_star, star_from_dict, star_to_dict
-from repro.storage.star import StarSchema
+from repro.storage.star import StarMutation, StarSchema
 from repro.storage.tables import (
     DimensionTable,
     FactTable,
@@ -21,6 +21,7 @@ __all__ = [
     "Feature",
     "LayerTable",
     "Member",
+    "StarMutation",
     "StarSchema",
     "load_star",
     "save_star",

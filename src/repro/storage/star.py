@@ -28,7 +28,8 @@ the fast paths are transparent).
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
 
 from repro.errors import StorageError
 from repro.geomd.schema import GeoMDSchema
@@ -37,7 +38,31 @@ from repro.geometry.index import GridIndex
 from repro.mdm.model import MDSchema
 from repro.storage.tables import DimensionTable, FactTable, Feature, LayerTable, Member
 
-__all__ = ["StarSchema"]
+__all__ = ["StarMutation", "StarSchema"]
+
+
+@dataclass(frozen=True)
+class StarMutation:
+    """Typed description of one star mutation, delivered to listeners.
+
+    ``generation`` is the star generation *after* the mutation.  Fact
+    appends carry the appended ``row_ids`` so downstream caches (the
+    engine's shared view store) can patch incrementally instead of
+    rebuilding; every other kind names what changed but carries no delta —
+    listeners must treat it as a full invalidation.
+    """
+
+    kind: str  # "member" | "fact" | "feature" | "schema"
+    generation: int
+    dimension: str | None = None
+    layer: str | None = None
+    fact: str | None = None
+    row_ids: tuple[int, ...] = ()
+
+    @property
+    def is_fact_delta(self) -> bool:
+        """True when this mutation can be applied as an incremental patch."""
+        return self.kind == "fact" and self.fact is not None and bool(self.row_ids)
 
 #: Sentinel distinguishing "not cached yet" from a cached ``None``
 #: (an empty layer/level legitimately caches as ``None``).
@@ -78,6 +103,11 @@ class StarSchema:
         #: against a mutation; without the lock the loser could install
         #: a permanently stale index.
         self._cache_lock = threading.Lock()
+        #: Observers of every mutation, called with a :class:`StarMutation`
+        #: *outside* ``_cache_lock`` (listeners may take their own locks
+        #: and read the star back).  The engine's shared view store
+        #: subscribes here to patch or invalidate materialized views.
+        self._mutation_listeners: list[Callable[[StarMutation], None]] = []
 
     # -- cache invalidation ---------------------------------------------------
 
@@ -85,6 +115,30 @@ class StarSchema:
     def generation(self) -> int:
         """Monotonic data version; bumped by every mutation."""
         return self._generation
+
+    def add_mutation_listener(
+        self, listener: Callable[[StarMutation], None]
+    ) -> None:
+        """Register an observer of every ``note_*_change`` mutation."""
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(
+        self, listener: Callable[[StarMutation], None]
+    ) -> None:
+        """Deregister a mutation observer (no-op when absent).
+
+        The star holds a strong reference to each listener; a caller
+        replacing an engine over a live star should detach the old one so
+        its view store stops being maintained (and can be collected).
+        """
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, mutation: StarMutation) -> None:
+        for listener in self._mutation_listeners:
+            listener(mutation)
 
     def note_member_change(self, dimension: str) -> None:
         """Invalidate caches derived from one dimension's members.
@@ -95,26 +149,55 @@ class StarSchema:
         """
         with self._cache_lock:
             self._generation += 1
+            generation = self._generation
             for key in [k for k in self._rollup_index if k[0] == dimension]:
                 del self._rollup_index[key]
             for key in [k for k in self._level_grid if k[0] == dimension]:
                 del self._level_grid[key]
+        self._notify(
+            StarMutation(
+                kind="member", generation=generation, dimension=dimension
+            )
+        )
 
-    def note_fact_change(self) -> None:
-        """Record a fact insert (postings update themselves incrementally)."""
+    def note_fact_change(
+        self, fact: str | None = None, row_ids: Iterable[int] = ()
+    ) -> None:
+        """Record a fact insert (postings update themselves incrementally).
+
+        ``fact``/``row_ids`` describe the appended rows; listeners use the
+        delta for incremental view maintenance.  Callers that cannot name
+        what changed may still call with no arguments — the mutation then
+        degrades to a full invalidation downstream.
+        """
         with self._cache_lock:
             self._generation += 1
+            generation = self._generation
+        self._notify(
+            StarMutation(
+                kind="fact",
+                generation=generation,
+                fact=fact,
+                row_ids=tuple(row_ids),
+            )
+        )
 
     def note_feature_change(self, layer: str) -> None:
         """Invalidate caches derived from one layer's features."""
         with self._cache_lock:
             self._generation += 1
+            generation = self._generation
             self._layer_grid.pop(layer, None)
+        self._notify(
+            StarMutation(kind="feature", generation=generation, layer=layer)
+        )
 
     def note_schema_change(self) -> None:
         """Record a schema mutation (AddLayer / BecomeSpatial)."""
         with self._cache_lock:
             self._generation += 1
+            generation = self._generation
+        self._notify(StarMutation(kind="schema", generation=generation))
 
     # -- access ---------------------------------------------------------------
 
@@ -228,7 +311,7 @@ class StarSchema:
                     f"fact {fact!r}: unknown {dim_name!r} leaf member {key!r}"
                 ) from None
         row_id = table.insert(coordinates, measures)
-        self.note_fact_change()
+        self.note_fact_change(table.fact.name, (row_id,))
         return row_id
 
     def add_feature(

@@ -272,6 +272,19 @@ class FactTable:
                 f"fact {self.fact.name!r} has no measure {measure!r}"
             ) from None
 
+    def coordinates(self, row_id: int) -> dict[str, str]:
+        """One row's ``dimension -> leaf key`` mapping (no measures).
+
+        The unit of the incremental view-maintenance delta protocol:
+        patching a materialized view only needs the appended rows' keys,
+        never their measures.
+        """
+        if not 0 <= row_id < self._count:
+            raise StorageError(
+                f"row id {row_id} out of range (0..{self._count - 1})"
+            )
+        return {dim: self._keys[dim][row_id] for dim in self._keys}
+
     def row(self, row_id: int) -> dict[str, object]:
         if not 0 <= row_id < self._count:
             raise StorageError(

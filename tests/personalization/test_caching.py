@@ -45,7 +45,12 @@ class TestViewMemo:
         assert uncached.fact_rows == cached.fact_rows
         assert uncached.stats() == cached.stats()
 
-    def test_memo_not_shared_across_sessions(self, engine, user_schema, world):
+    def test_equal_selections_share_one_view_across_sessions(
+        self, engine, user_schema, world
+    ):
+        """PR 4 semantics: the shared view store serves one materialization
+        to any number of sessions whose selections hold the same content —
+        the uid stays per-session, the *fingerprint* is the cache key."""
         first = engine.start_session(
             build_regional_manager_profile(user_schema),
             location=world.stores[0].location,
@@ -54,8 +59,60 @@ class TestViewMemo:
             build_regional_manager_profile(user_schema, name="Bo Li"),
             location=world.stores[0].location,
         )
-        assert first.view() is not second.view()
         assert first.selection.uid != second.selection.uid
+        assert first.selection.fingerprint() == second.selection.fingerprint()
+        assert first.view() is second.view()
+        # The shared view aliases neither session's live selection.
+        assert first.view().selection is not first.selection
+        assert first.view().selection is not second.selection
+
+    def test_differing_selections_never_share_a_view(
+        self, engine, user_schema, world
+    ):
+        first = engine.start_session(
+            build_regional_manager_profile(user_schema),
+            location=world.stores[0].location,
+        )
+        second = engine.start_session(
+            build_regional_manager_profile(user_schema, name="Bo Li"),
+            location=world.stores[0].location,
+        )
+        column = second.context.star.fact_table().key_column("Store")
+        unselected = next(
+            key
+            for key in column
+            if key not in second.selection.members[("Store", "Store")]
+        )
+        second.selection.add_member("Store", "Store", unselected)
+        assert first.selection.fingerprint() != second.selection.fingerprint()
+        assert first.view() is not second.view()
+
+    def test_view_store_disabled_falls_back_to_private_memo(
+        self, world, star, user_schema
+    ):
+        from repro.data import ALL_PAPER_RULES, WorldGeoSource
+        from repro.personalization import PersonalizationEngine
+
+        engine = PersonalizationEngine(
+            star,
+            user_schema,
+            geo_source=WorldGeoSource(world),
+            parameters={"threshold": 3},
+            view_store_size=0,
+        )
+        engine.add_rules(ALL_PAPER_RULES.values())
+        assert engine.view_store is None
+        first = engine.start_session(
+            build_regional_manager_profile(user_schema),
+            location=world.stores[0].location,
+        )
+        second = engine.start_session(
+            build_regional_manager_profile(user_schema, name="Bo Li"),
+            location=world.stores[0].location,
+        )
+        assert first.view() is first.view()  # memo still works
+        assert first.view() is not second.view()  # but nothing is shared
+        assert first.view().fact_rows == second.view().fact_rows
 
     def test_selection_generation_counts_only_growth(self, session):
         selection = session.selection

@@ -1,10 +1,11 @@
 """Tests for the façade's LRU query-result cache.
 
-The cache key is ``(datamart, fact, canonical query text, selection
-uid+generation, star generation)`` — these tests pin the protocol: hits
-only in steady state, misses on any selection/star change, entries never
-shared across sessions or tenants, byte-identical responses with the
-cache disabled, and bounded size.
+The cache key is ``(datamart, canonical query text, selection
+fingerprint, star generation)`` — these tests pin the protocol: hits only
+in steady state, misses on any selection/star change, entries shared
+across sessions exactly when their selections hold the same content,
+never across tenants, byte-identical responses with the cache disabled,
+and bounded size.
 """
 
 import pytest
@@ -86,6 +87,26 @@ class TestHitsAndMisses:
         assert miss.fact_rows_matched == 0
         assert hit.fact_rows_matched > 0
 
+    def test_mutating_a_response_never_poisons_the_cache(self, service, token):
+        """Satellite regression: cached payload rows are frozen tuples and
+        every response materializes fresh lists — a consumer editing a
+        returned row (or the rows list) must not corrupt later hits."""
+        first = service.query(token, QueryRequest(q=QUERY))
+        pristine = [list(row) for row in first.rows]
+        first.rows[0][0] = "VANDALIZED"
+        first.rows.clear()
+        second = service.query(token, QueryRequest(q=QUERY))
+        assert service.query_cache_hits == 1
+        assert second.rows == pristine
+        second.to_dict()["rows"][0][0] = "VANDALIZED"
+        assert service.query(token, QueryRequest(q=QUERY)).rows == pristine
+
+    def test_cached_payload_rows_are_frozen(self, service, token):
+        service.query(token, QueryRequest(q=QUERY))
+        (payload,) = list(service._query_cache._entries.values())
+        assert isinstance(payload.rows, tuple)
+        assert all(isinstance(row, tuple) for row in payload.rows)
+
     def test_pagination_shares_one_entry(self, service, token):
         from repro.service import PageRequest
 
@@ -124,16 +145,36 @@ class TestHitsAndMisses:
 
 
 class TestIsolation:
-    def test_sessions_never_share_entries(self, service, world):
+    def test_equal_selections_share_entries_across_sessions(
+        self, service, world
+    ):
+        """PR 4 semantics: the key carries the selection *fingerprint*
+        (content identity), so two sessions of one tenant whose
+        personalization landed on the same instances share one entry."""
         first = _login(service, world)
         second = _login(service, world)
         result_one = service.query(first, QueryRequest(q=QUERY))
         result_two = service.query(second, QueryRequest(q=QUERY))
-        # Same tenant, same query text, same personalization outcome —
-        # still two distinct cache entries (selection uids differ).
+        assert service.query_cache_misses == 1
+        assert service.query_cache_hits == 1
+        assert result_one.to_dict() == result_two.to_dict()
+
+    def test_differing_selections_never_share_entries(self, service, world):
+        first = _login(service, world)
+        second = _login(service, world)
+        service.query(first, QueryRequest(q=QUERY))
+        # Widen the second session's selection past the first's.
+        for _ in range(4):  # interest threshold is 3
+            service.record_selection(
+                second,
+                SelectionRequest(
+                    target="GeoMD.Store.City", condition=WIDEN_CONDITION
+                ),
+            )
+        service.rerun_instance_rules(second)
+        service.query(second, QueryRequest(q=QUERY))
         assert service.query_cache_misses == 2
         assert service.query_cache_hits == 0
-        assert result_one.to_dict() == result_two.to_dict()
 
     def test_tenants_never_share_entries(self, service, world):
         sales = _login(service, world, datamart="sales")
