@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -318,6 +319,10 @@ def run(scale: str, rounds: int, out_path: str | None) -> dict:
         "rounds": per_mix_rounds,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # Whether the lock-order sanitizer instrumented this run: the
+        # wrappers are opt-in, so timings here are only comparable to
+        # committed records carrying the same flag.
+        "sanitize": os.environ.get("REPRO_SANITIZE") == "1",
         "mixes": {},
     }
     for name, (fn, weight) in mixes.items():

@@ -1,0 +1,8 @@
+"""Root conftest: loads the lock-order sanitizer plugin.
+
+The plugin is inert unless ``REPRO_SANITIZE=1`` — see
+``src/repro/analysis/pytest_plugin.py`` and the "Concurrency
+invariants" section of the README.
+"""
+
+pytest_plugins = ("repro.analysis.pytest_plugin",)

@@ -1,0 +1,138 @@
+"""The grandfathering baseline: visible-but-accepted pre-existing findings.
+
+A baseline is a committed JSON file listing fingerprinted violations
+that predate the lint suite.  ``repro lint`` subtracts it, so new code
+is held to the rules while old, deliberate fast paths stay visible (the
+file is in the repo, reviewable, and shrinks as findings are fixed) but
+non-fatal.  ``--check-baseline`` additionally fails on *stale* entries —
+a fixed violation must leave the baseline with it.
+
+Fingerprints are line-number independent: ``sha1(rule | path |
+enclosing scope qualname | stripped source line)`` plus an occurrence
+index for identical lines in one scope.  Inserting code above a
+grandfathered line does not un-grandfather it; editing the flagged line
+itself does (by design — a touched line must meet the rules).
+"""
+
+from __future__ import annotations
+
+import json
+from hashlib import sha1
+from pathlib import Path
+
+from repro.analysis.core import Violation
+
+__all__ = ["Baseline", "fingerprint_all"]
+
+_FORMAT_VERSION = 1
+
+
+def _raw_fingerprint(violation: Violation, occurrence: int) -> str:
+    digest = sha1(
+        "|".join(
+            (
+                violation.rule,
+                violation.path.replace("\\", "/"),
+                violation.scope,
+                violation.snippet,
+                str(occurrence),
+            )
+        ).encode()
+    )
+    return digest.hexdigest()[:16]
+
+
+def fingerprint_all(violations: list[Violation]) -> list[tuple[str, Violation]]:
+    """Stable ``(fingerprint, violation)`` pairs, occurrence-indexed."""
+    counts: dict[tuple[str, str, str, str], int] = {}
+    out: list[tuple[str, Violation]] = []
+    for violation in sorted(
+        violations, key=lambda v: (v.path, v.line, v.rule)
+    ):
+        identity = (
+            violation.rule,
+            violation.path,
+            violation.scope,
+            violation.snippet,
+        )
+        occurrence = counts.get(identity, 0)
+        counts[identity] = occurrence + 1
+        out.append((_raw_fingerprint(violation, occurrence), violation))
+    return out
+
+
+class Baseline:
+    """A set of grandfathered fingerprints with human-readable context."""
+
+    def __init__(self, entries: dict[str, dict] | None = None) -> None:
+        #: fingerprint -> {rule, path, line, scope, snippet, message}.
+        self.entries: dict[str, dict] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path} (expected {_FORMAT_VERSION})"
+            )
+        return cls(data.get("violations", {}))
+
+    @classmethod
+    def from_violations(cls, violations: list[Violation]) -> "Baseline":
+        entries = {
+            fingerprint: {
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "scope": violation.scope,
+                "snippet": violation.snippet,
+                "message": violation.message,
+            }
+            for fingerprint, violation in fingerprint_all(violations)
+        }
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Grandfathered lint findings (repro lint --write-baseline). "
+                "New violations fail; fixing one must remove its entry "
+                "(repro lint --check-baseline enforces both directions)."
+            ),
+            "violations": {
+                fingerprint: self.entries[fingerprint]
+                for fingerprint in sorted(self.entries)
+            },
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+    def split(
+        self, violations: list[Violation]
+    ) -> tuple[list[Violation], list[Violation], list[dict]]:
+        """Partition a run against the baseline.
+
+        Returns ``(new, grandfathered, stale)`` where ``stale`` entries
+        are baseline records whose violation no longer occurs.
+        """
+        matched: set[str] = set()
+        new: list[Violation] = []
+        grandfathered: list[Violation] = []
+        for fingerprint, violation in fingerprint_all(violations):
+            if fingerprint in self.entries:
+                matched.add(fingerprint)
+                grandfathered.append(violation)
+            else:
+                new.append(violation)
+        stale = [
+            dict(entry, fingerprint=fingerprint)
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in matched
+        ]
+        return new, grandfathered, stale
+
+    def __len__(self) -> int:
+        return len(self.entries)

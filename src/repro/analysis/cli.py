@@ -1,0 +1,131 @@
+"""``repro lint``: the concurrency / cache-correctness lint gate.
+
+Runs every rule in :mod:`repro.analysis.rules` over the given paths and
+reports findings not covered by the committed baseline
+(``lint-baseline.json`` at the repo root by default).
+
+Exit status is 1 when new violations exist, and — under
+``--check-baseline`` — also when the baseline carries *stale* entries
+(findings that no longer occur: fixing a grandfathered violation must
+remove its baseline entry in the same change).  ``--write-baseline``
+regenerates the file from the current findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import LintRunner
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="FILE",
+        help=f"grandfathered-findings file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the current findings and exit",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="also fail on stale baseline entries (CI mode)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="report format (default: text)",
+    )
+
+
+def _violation_dict(violation) -> dict:
+    return {
+        "rule": violation.rule,
+        "path": violation.path,
+        "line": violation.line,
+        "scope": violation.scope,
+        "message": violation.message,
+    }
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    violations = LintRunner().run(args.paths)
+    baseline_path = Path(args.baseline)
+
+    if args.write_baseline:
+        Baseline.from_violations(violations).save(baseline_path)
+        print(f"wrote {len(violations)} grandfathered findings to {baseline_path}")
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    new, grandfathered, stale = baseline.split(violations)
+
+    failed = bool(new) or (args.check_baseline and bool(stale))
+    if args.output_format == "json":
+        print(
+            json.dumps(
+                {
+                    "new": [_violation_dict(v) for v in new],
+                    "grandfathered": [_violation_dict(v) for v in grandfathered],
+                    "stale": stale,
+                    "ok": not failed,
+                },
+                indent=2,
+            )
+        )
+        return 1 if failed else 0
+
+    for violation in new:
+        print(violation.format())
+    if stale:
+        print(
+            f"{len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} in {baseline_path} "
+            "(fixed findings must leave the baseline):",
+            file=sys.stderr,
+        )
+        for entry in stale:
+            print(
+                f"  {entry['path']}:{entry['line']}: {entry['rule']} "
+                f"[{entry['fingerprint']}]",
+                file=sys.stderr,
+            )
+        if not args.check_baseline:
+            print(
+                "  (informational; --check-baseline makes this fatal)",
+                file=sys.stderr,
+            )
+    summary = (
+        f"{len(new)} new, {len(grandfathered)} grandfathered, "
+        f"{len(stale)} stale"
+    )
+    if failed:
+        print(f"lint: FAIL ({summary})", file=sys.stderr)
+        return 1
+    print(f"lint: ok ({summary})")
+    return 0

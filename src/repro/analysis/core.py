@@ -1,0 +1,254 @@
+"""The lint framework: sources, scopes, suppressions, the runner.
+
+Stdlib-``ast`` only — no third-party lint engine.  A
+:class:`ModuleSource` is one parsed file plus the comment-carried
+metadata the rules consume (``# guarded-by:`` declarations,
+``# guarded-by-caller:`` function annotations, ``# lint-ok:``
+suppressions); a :class:`ProjectIndex` carries the little cross-file
+knowledge the rules need (which classes are frozen payload types); a
+:class:`LintRunner` applies every rule to every module and filters
+suppressed findings.
+
+Annotation grammar (all are ordinary comments):
+
+``# guarded-by: <lock>``
+    On (or in the comment block directly above) an attribute
+    declaration — ``self._entries = ...`` in ``__init__`` or a
+    class-body field — declaring that the attribute may only be
+    touched inside ``with self.<lock>:``.
+
+``# guarded-by-caller: <lock>``
+    On a ``def`` line: every caller of this helper already holds
+    ``<lock>``, so its body is treated as guarded.
+
+``# lint-ok: <rule>[, <rule>...] [- reason]``
+    Suppresses the named rules on that line (``*`` suppresses all).
+    Use for deliberate, documented exceptions; prefer the committed
+    baseline for grandfathered pre-existing findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol
+
+__all__ = ["LintRunner", "ModuleSource", "ProjectIndex", "Rule", "Violation"]
+
+_SUPPRESS_RE = re.compile(r"#.*?\blint-ok:\s*([\w\-*]+(?:\s*,\s*[\w\-*]+)*)")
+_GUARD_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+_CALLER_GUARD_RE = re.compile(r"#\s*guarded-by-caller:\s*([A-Za-z_]\w*)")
+_FROZEN_MARK_RE = re.compile(r"#\s*frozen-payload\b")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: rule, location, and enough context to fingerprint it."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    scope: str
+    snippet: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+class ModuleSource:
+    """One parsed source file plus its comment-carried lint metadata."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        #: line number -> rule ids suppressed on that line.
+        self.suppressions: dict[int, set[str]] = {}
+        #: line number -> declared guard lock name.
+        self.guard_lines: dict[int, str] = {}
+        #: line number -> caller-held lock name (function annotations).
+        self.caller_guard_lines: dict[int, str] = {}
+        for number, line in enumerate(self.lines, start=1):
+            if (match := _SUPPRESS_RE.search(line)) is not None:
+                rules = {r.strip() for r in match.group(1).split(",")}
+                self.suppressions[number] = rules
+            if (match := _GUARD_RE.search(line)) is not None:
+                self.guard_lines[number] = match.group(1)
+            if (match := _CALLER_GUARD_RE.search(line)) is not None:
+                self.caller_guard_lines[number] = match.group(1)
+        self._scopes = self._collect_scopes()
+
+    @classmethod
+    def load(cls, path: Path, display_path: str | None = None) -> "ModuleSource":
+        return cls(display_path or str(path), path.read_text())
+
+    # -- scopes ---------------------------------------------------------------
+
+    def _collect_scopes(self) -> list[tuple[int, int, str]]:
+        spans: list[tuple[int, int, str]] = []
+
+        def walk(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    qualname = f"{prefix}.{child.name}" if prefix else child.name
+                    spans.append(
+                        (child.lineno, child.end_lineno or child.lineno, qualname)
+                    )
+                    walk(child, qualname)
+                else:
+                    walk(child, prefix)
+
+        walk(self.tree, "")
+        return spans
+
+    def scope_at(self, line: int) -> str:
+        """Dotted qualname of the innermost class/function holding a line."""
+        best = "<module>"
+        best_size = None
+        for start, end, qualname in self._scopes:
+            if start <= line <= end:
+                size = end - start
+                if best_size is None or size <= best_size:
+                    best, best_size = qualname, size
+        return best
+
+    # -- annotations ----------------------------------------------------------
+
+    def statement_annotation(
+        self, stmt: ast.stmt, table: dict[int, str]
+    ) -> str | None:
+        """An annotation on the statement's lines or its leading comments."""
+        end = stmt.end_lineno or stmt.lineno
+        for number in range(stmt.lineno, end + 1):
+            if number in table:
+                return table[number]
+        number = stmt.lineno - 1
+        while number >= 1 and self.lines[number - 1].lstrip().startswith("#"):
+            if number in table:
+                return table[number]
+            number -= 1
+        return None
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return rules is not None and bool(rules & {rule, "*"})
+
+    def violation(self, rule: str, node: ast.AST, message: str) -> Violation:
+        line = getattr(node, "lineno", 1)
+        snippet = (
+            self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        )
+        return Violation(
+            rule=rule,
+            path=self.path,
+            line=line,
+            message=message,
+            scope=self.scope_at(line),
+            snippet=snippet,
+        )
+
+
+class ProjectIndex:
+    """Cross-file facts shared by the rules (one lint run's worth)."""
+
+    def __init__(self, modules: Iterable[ModuleSource]) -> None:
+        #: Class names whose instances are immutable payloads: NamedTuple
+        #: subclasses, ``@dataclass(frozen=True)``, or ``# frozen-payload``.
+        self.frozen_classes: set[str] = set()
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and self._is_frozen(
+                    module, node
+                ):
+                    self.frozen_classes.add(node.name)
+
+    @staticmethod
+    def _is_frozen(module: ModuleSource, node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = base.attr if isinstance(base, ast.Attribute) else getattr(
+                base, "id", None
+            )
+            if name == "NamedTuple":
+                return True
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Call):
+                name = (
+                    decorator.func.attr
+                    if isinstance(decorator.func, ast.Attribute)
+                    else getattr(decorator.func, "id", None)
+                )
+                if name == "dataclass" and any(
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in decorator.keywords
+                ):
+                    return True
+        end = node.body[0].lineno if node.body else node.lineno
+        for number in range(node.lineno, end + 1):
+            if 0 < number <= len(module.lines) and _FROZEN_MARK_RE.search(
+                module.lines[number - 1]
+            ):
+                return True
+        return False
+
+
+class Rule(Protocol):
+    """One lint rule: an id, a description, and a per-module check."""
+
+    id: str
+    description: str
+
+    def check(
+        self, module: ModuleSource, index: ProjectIndex
+    ) -> Iterable[Violation]: ...
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        candidates = (
+            sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+class LintRunner:
+    """Apply a rule set to a file tree, honouring inline suppressions."""
+
+    def __init__(self, rules: Iterable[Rule] | None = None) -> None:
+        if rules is None:
+            from repro.analysis.rules import ALL_RULES
+
+            rules = ALL_RULES
+        self.rules = list(rules)
+
+    def run(self, paths: Iterable[str | Path]) -> list[Violation]:
+        modules: list[ModuleSource] = []
+        for path in iter_python_files(paths):
+            modules.append(ModuleSource.load(path, str(path)))
+        return self.run_modules(modules)
+
+    def run_modules(self, modules: list[ModuleSource]) -> list[Violation]:
+        index = ProjectIndex(modules)
+        violations: list[Violation] = []
+        for module in modules:
+            for rule in self.rules:
+                for violation in rule.check(module, index):
+                    if not module.is_suppressed(rule.id, violation.line):
+                        violations.append(violation)
+        violations.sort(key=lambda v: (v.path, v.line, v.rule))
+        return violations

@@ -1,0 +1,98 @@
+"""Sanitizer-instrumented pytest runs (loaded from the root conftest).
+
+Does nothing unless ``REPRO_SANITIZE=1`` — the ordinary test run pays no
+instrumentation cost.  When enabled, a fresh process-global
+:class:`~repro.analysis.sanitizer.LockOrderSanitizer` is installed for
+the whole session, so every lock the runtime creates through
+:func:`repro.concurrency.make_lock` reports into one order graph.  At
+session end the plugin:
+
+* writes the full graph (stats, edges with example sites, cycles) to
+  the path in ``REPRO_SANITIZE_GRAPH`` if set — CI uploads this as an
+  artifact;
+* compares the observed lock-order cycles against the committed
+  ``lock-order-baseline.json`` and **fails the run** (exit status 1) on
+  any cycle not listed there.  The committed baseline is empty: a new
+  cycle is a potential deadlock and must be fixed, not baselined,
+  unless a reviewer deliberately grandfathers it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis import sanitizer as _sanitizer
+
+__all__ = ["GRAPH_ENV", "BASELINE_NAME"]
+
+#: Where to write the order-graph artifact (no artifact when unset).
+GRAPH_ENV = "REPRO_SANITIZE_GRAPH"
+#: Committed grandfathered-cycles file, looked up at the pytest root.
+BASELINE_NAME = "lock-order-baseline.json"
+
+
+def pytest_configure(config) -> None:
+    if os.environ.get(_sanitizer.ENV_SWITCH) != "1":
+        return
+    config._repro_sanitizer_previous = _sanitizer.current()
+    config._repro_sanitizer = _sanitizer.activate()
+
+
+def _baseline_cycles(rootpath: Path) -> list[list[str]]:
+    path = rootpath / BASELINE_NAME
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    return [sorted(cycle) for cycle in data.get("cycles", [])]
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    sanitizer = getattr(session.config, "_repro_sanitizer", None)
+    if sanitizer is None:
+        return
+    graph = sanitizer.graph()
+    graph_path = os.environ.get(GRAPH_ENV)
+    if graph_path:
+        Path(graph_path).write_text(json.dumps(graph, indent=2) + "\n")
+    baseline = _baseline_cycles(Path(str(session.config.rootpath)))
+    new_cycles = [cycle for cycle in graph["cycles"] if cycle not in baseline]
+
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+
+    def emit(line: str, **markup) -> None:
+        if reporter is not None:
+            reporter.write_line(line, **markup)
+        else:  # pragma: no cover - no terminal plugin
+            print(line)
+
+    emit(
+        f"lock-order sanitizer: {len(graph['locks'])} lock classes, "
+        f"{len(graph['edges'])} order edges, {len(graph['cycles'])} cycles"
+    )
+    if new_cycles:
+        sites = {
+            (edge["held"], edge["acquired"]): edge["site"]
+            for edge in graph["edges"]
+        }
+        emit(
+            f"FAILED: lock-order cycles not grandfathered in {BASELINE_NAME}:",
+            red=True,
+        )
+        for cycle in new_cycles:
+            emit("  cycle: " + " <-> ".join(cycle), red=True)
+            for held, acquired in sites:
+                if held in cycle and acquired in cycle:
+                    emit(
+                        f"    {held} -> {acquired} at {sites[(held, acquired)]}",
+                        red=True,
+                    )
+        session.exitstatus = 1
+
+
+def pytest_unconfigure(config) -> None:
+    if getattr(config, "_repro_sanitizer", None) is None:
+        return
+    _sanitizer.deactivate(getattr(config, "_repro_sanitizer_previous", None))
+    config._repro_sanitizer = None

@@ -15,6 +15,9 @@ Small operational commands over the reproduction:
     Run one GeoMDQL query over the personalized view.
 ``serve``
     Start the web portal on a local port (interactive use only).
+``lint``
+    Run the concurrency / cache-correctness lint suite against the
+    committed baseline (see ``repro.analysis``).
 """
 
 from __future__ import annotations
@@ -145,6 +148,12 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - network
     from repro.service import (
         DatamartRegistry,
@@ -234,6 +243,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="idle session time-to-live in seconds",
     )
     serve_cmd.set_defaults(func=cmd_serve)
+
+    from repro.analysis.cli import add_lint_arguments
+
+    lint_cmd = sub.add_parser(
+        "lint", help="run the concurrency/cache-correctness lint suite"
+    )
+    add_lint_arguments(lint_cmd)
+    lint_cmd.set_defaults(func=cmd_lint)
     return parser
 
 

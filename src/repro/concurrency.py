@@ -1,0 +1,39 @@
+"""Lock construction for repro's shared state.
+
+Every lock guarding cross-request state is created through these
+factories with a stable *lock-class* name (``"ViewStore._lock"``,
+``"FactTable._lock"``, ...).  In normal operation they return plain
+``threading`` primitives — zero overhead, nothing recorded.  When the
+lock-order sanitizer is active (``REPRO_SANITIZE=1``, or
+:func:`repro.analysis.sanitizer.activate`), they return instrumented
+wrappers that feed the acquisition/contention counters and the global
+lock-order graph (see :mod:`repro.analysis.sanitizer`).
+
+The name is the node identity in that graph: all instances of one lock
+class share a node, so an order inversion between any two instances
+anywhere in the process shows up as a cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis import sanitizer as _sanitizer
+
+__all__ = ["make_lock", "make_rlock"]
+
+
+def make_lock(name: str):
+    """A ``threading.Lock`` (or its sanitized wrapper) named ``name``."""
+    active = _sanitizer.current()
+    if active is not None:
+        return active.lock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str):
+    """A ``threading.RLock`` (or its sanitized wrapper) named ``name``."""
+    active = _sanitizer.current()
+    if active is not None:
+        return active.rlock(name)
+    return threading.RLock()

@@ -13,9 +13,10 @@ attribute; eviction always trims to the effective bound.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Hashable
+
+from repro.concurrency import make_lock
 
 __all__ = ["ThreadSafeLRU"]
 
@@ -27,7 +28,8 @@ class ThreadSafeLRU:
         if max_size < 0:
             raise ValueError("max_size must be >= 0")
         self.max_size = max_size
-        self._lock = threading.Lock()
+        self._lock = make_lock("ThreadSafeLRU._lock")
+        # guarded-by: _lock
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0

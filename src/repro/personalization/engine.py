@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import enum
 import threading
+from functools import partial
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.concurrency import make_lock
 from repro.errors import PersonalizationError, PRMLRuntimeError
 from repro.geometry import Metric, PlanarMetric, Point
 from repro.geomd.schema import GeoMDSchema
@@ -189,7 +191,8 @@ class PersonalizedSession:
         default_factory=dict, repr=False
     )
     _memo_lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False
+        default_factory=partial(make_lock, "PersonalizedSession._memo_lock"),
+        repr=False,
     )
 
     @property

@@ -38,10 +38,10 @@ would complicate every other owner for one consumer.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from repro.concurrency import make_rlock
 from repro.storage.star import StarMutation, StarSchema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
@@ -86,7 +86,8 @@ class ViewStore:
         #: When False, fact deltas degrade to full invalidation (the
         #: incremental-maintenance off-switch; runtime-mutable).
         self.incremental = incremental
-        self._lock = threading.RLock()
+        self._lock = make_rlock("ViewStore._lock")
+        # guarded-by: _lock
         self._entries: "OrderedDict[_Key, _Entry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -257,7 +258,7 @@ class ViewStore:
 
     # -- bounds / introspection -----------------------------------------------
 
-    def _trim(self) -> None:
+    def _trim(self) -> None:  # guarded-by-caller: _lock
         while len(self._entries) > self.max_size:
             self._entries.popitem(last=False)
             self.evictions += 1

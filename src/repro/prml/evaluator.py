@@ -222,7 +222,7 @@ class SelectionSet:
         for (dimension, level), keys in self.members.items():
             try:
                 table = star.dimension_table(dimension)
-            except StorageError:
+            except StorageError:  # lint-ok: swallowed-error - documented stale-key degradation
                 continue  # dimension no longer in the star
             live = {
                 key for key in keys if self._member_exists(table, level, key)
@@ -236,7 +236,7 @@ class SelectionSet:
                     leaf_keys = star.leaf_keys_rolled_to(
                         dimension, level, live
                     )
-                except (SchemaError, StorageError):
+                except (SchemaError, StorageError):  # lint-ok: swallowed-error - documented stale-key degradation
                     continue  # level fell off every hierarchy path
             out.setdefault(dimension, set()).update(leaf_keys)
         return out

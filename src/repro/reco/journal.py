@@ -20,10 +20,11 @@ first) so a hot tenant cannot grow the journal without limit.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Iterable, Mapping
+
+from repro.concurrency import make_lock
 
 __all__ = ["WorkloadEvent", "WorkloadJournal"]
 
@@ -78,11 +79,14 @@ class WorkloadJournal:
         if max_events_per_user < 1:
             raise ValueError("max_events_per_user must be >= 1")
         self.max_events_per_user = max_events_per_user
-        self._lock = threading.Lock()
+        self._lock = make_lock("WorkloadJournal._lock")
         #: (datamart, user_id) -> events in append order.
+        # guarded-by: _lock
         self._events: dict[tuple[str, str], list[WorkloadEvent]] = {}
         #: datamart -> monotonic generation (bumped by every append).
+        # guarded-by: _lock
         self._generations: dict[str, int] = {}
+        # guarded-by: _lock
         self._seq = 0
 
     # -- recording ----------------------------------------------------------------

@@ -72,7 +72,7 @@ def build_spatial_profile(
     for (dimension, level), keys in members.items():
         try:
             table = star.dimension_table(dimension)
-        except StorageError:
+        except StorageError:  # lint-ok: swallowed-error - documented stale-key degradation
             continue  # journaled against a schema that no longer has it
         keys = set(keys)
         if level == table.dimension.leaf:
@@ -80,7 +80,7 @@ def build_spatial_profile(
         else:
             try:
                 expanded = star.leaf_keys_rolled_to(dimension, level, keys)
-            except (StorageError, SchemaError):
+            except (StorageError, SchemaError):  # lint-ok: swallowed-error - documented stale-key degradation
                 continue
         leaf_keys.setdefault(dimension, set()).update(expanded)
 
@@ -118,7 +118,7 @@ def build_spatial_profile(
                         star.rollup_member(dimension, key, level).key
                         for key in leaves
                     )
-            except (SchemaError, StorageError):
+            except (SchemaError, StorageError):  # lint-ok: swallowed-error - documented stale-key degradation
                 continue  # level not on a hierarchy / roll-up link missing
             if ancestors:
                 level_keys[(dimension, level)] = ancestors

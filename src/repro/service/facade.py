@@ -31,6 +31,8 @@ from __future__ import annotations
 import threading
 from typing import NamedTuple
 
+from repro.analysis import sanitizer as _sanitizer
+from repro.concurrency import make_lock
 from repro.errors import BadRequestError, PRMLError, QueryError, UnauthorizedError
 from repro.lru import ThreadSafeLRU
 from repro.olap.gmdql import parse_query
@@ -95,12 +97,15 @@ class PersonalizationService:
         self.sessions = (
             session_store if session_store is not None else InMemorySessionStore()
         )
+        # guarded-by: _lock
         self._sessions_started: dict[str, int] = {}
+        # guarded-by: _lock
         self._hooked_engines: set[int] = set()
         #: Guards hook registration and the per-tenant counters; engines
         #: themselves are not thread-safe, so logins are serialized per
         #: engine and same-token requests per session record.
-        self._lock = threading.Lock()
+        self._lock = make_lock("PersonalizationService._lock")
+        # guarded-by: _lock
         self._engine_locks: dict[int, threading.Lock] = {}
         if query_cache_size < 0:
             raise ValueError("query_cache_size must be >= 0")
@@ -130,8 +135,11 @@ class PersonalizationService:
             session, datamart=datamart.name, user_id=request.user
         )
         # The journaling opt-out travels with the session record, not the
-        # user: a later login may opt back in and resume the history.
-        record.meta["journal"] = request.journal
+        # user: a later login may opt back in and resume the history.  The
+        # token is live the moment put() returns, so the meta write takes
+        # the record lock like every other same-token operation.
+        with record.lock:
+            record.meta["journal"] = request.journal
         return LoginResult(
             token=record.token,
             user=request.user,
@@ -420,12 +428,15 @@ class PersonalizationService:
             "hits": self.query_cache_hits,
             "misses": self.query_cache_misses,
         }
+        with self._lock:
+            sessions_started = dict(self._sessions_started)
+        sanitizer = _sanitizer.current()
         return {
             "status": "ok",
             "datamarts": [
                 {
                     "name": dm.name,
-                    "sessions_started": self._sessions_started.get(dm.name, 0),
+                    "sessions_started": sessions_started.get(dm.name, 0),
                     "star_generation": dm.engine.star.generation,
                     # Shared materialized-view store counters (None when
                     # the tenant's engine runs with view_store_size=0).
@@ -441,10 +452,16 @@ class PersonalizationService:
             "query_cache": query_cache,
             "journal": self.journal.stats(),
             "recommender": self.recommender.stats(),
+            # Lock acquisition/contention counters and the lock-order
+            # graph summary, when the sanitizer is running
+            # (REPRO_SANITIZE=1); null in normal operation.
+            "locks": sanitizer.stats() if sanitizer is not None else None,
         }
 
     def datamarts(self) -> list[DatamartInfo]:
         """Describe every tenant this service hosts."""
+        with self._lock:
+            sessions_started = dict(self._sessions_started)
         return [
             DatamartInfo(
                 name=dm.name,
@@ -452,13 +469,14 @@ class PersonalizationService:
                 default=dm.name == self.registry.default_name,
                 users=len(dm.profiles),
                 rules=len(dm.engine.rules),
-                sessions_started=self._sessions_started.get(dm.name, 0),
+                sessions_started=sessions_started.get(dm.name, 0),
             )
             for dm in sorted(self.registry, key=lambda d: d.name)
         ]
 
     def sessions_started(self, datamart: str) -> int:
-        return self._sessions_started.get(datamart, 0)
+        with self._lock:
+            return self._sessions_started.get(datamart, 0)
 
     # -- internals ---------------------------------------------------------------
 

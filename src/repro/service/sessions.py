@@ -20,8 +20,10 @@ import time
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Iterator
 
+from repro.concurrency import make_lock
 from repro.errors import UnauthorizedError
 
 __all__ = ["SessionRecord", "SessionStore", "InMemorySessionStore"]
@@ -43,7 +45,9 @@ class SessionRecord:
     created_at: float
     last_access: float
     meta: dict = field(default_factory=dict)
-    lock: threading.Lock = field(default_factory=threading.Lock)
+    lock: threading.Lock = field(
+        default_factory=partial(make_lock, "SessionRecord.lock")
+    )
 
 
 class SessionStore(ABC):
@@ -87,7 +91,7 @@ def _end_quietly(record: SessionRecord) -> None:
     try:
         if not getattr(session, "closed", True):
             session.end()
-    except Exception:  # noqa: BLE001 - reclamation must not fail the request
+    except Exception:  # noqa: BLE001 - lint-ok: swallowed-error - reclamation must not fail the request
         pass
 
 
@@ -114,8 +118,9 @@ class InMemorySessionStore(SessionStore):
         self.max_sessions = max_sessions
         self._clock = clock
         self._token_factory = token_factory or _default_token_factory
-        self._lock = threading.Lock()
+        self._lock = make_lock("InMemorySessionStore._lock")
         #: token -> record, ordered oldest-access-first (LRU discipline).
+        # guarded-by: _lock
         self._records: OrderedDict[str, SessionRecord] = OrderedDict()
 
     # -- SessionStore API ---------------------------------------------------------
@@ -191,7 +196,7 @@ class InMemorySessionStore(SessionStore):
 
     # -- internals ---------------------------------------------------------------
 
-    def _purge_expired_locked(self, now: float) -> list[SessionRecord]:
+    def _purge_expired_locked(self, now: float) -> list[SessionRecord]:  # guarded-by-caller: _lock
         stale = [
             token
             for token, record in self._records.items()

@@ -27,10 +27,10 @@ the fast paths are transparent).
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
+from repro.concurrency import make_rlock
 from repro.errors import StorageError
 from repro.geomd.schema import GeoMDSchema
 from repro.geometry import Geometry
@@ -84,25 +84,40 @@ class StarSchema:
         if isinstance(schema, GeoMDSchema):
             for name, layer in schema.layers.items():
                 self._layers[name] = LayerTable(layer)
-        # (dimension, leaf_key, level) -> ancestor member; filled lazily.
-        self._rollup_cache: dict[tuple[str, str, str], Member] = {}
+        # (dimension, leaf_key, level, member generation) -> ancestor
+        # member; filled lazily.  The generation component keeps a
+        # roll-up resolved before a member mutation from ever answering
+        # after one; note_member_change also drops the dimension's
+        # entries.
+        # guarded-by: _cache_lock
+        self._rollup_cache: dict[tuple[str, str, str, int], Member] = {}
+        # dimension -> count of its member mutations.  Roll-up ancestry
+        # depends only on a dimension's members, so its cache keys on
+        # this instead of the global generation — fact appends and
+        # schema/feature changes must not evict resolved roll-ups.
+        self._member_generations: dict[str, int] = {}
         #: When False, every index-backed fast path falls back to the
         #: original scans (transparency switch for benchmarks/tests).
         self.use_indexes: bool = True
         self._generation = 0
         # (dimension, level) -> {ancestor key -> leaf keys}; lazy.
+        # guarded-by: _cache_lock
         self._rollup_index: dict[tuple[str, str], dict[str, set[str]]] = {}
         # layer name -> (GridIndex over feature ids, [geometries]) | None.
+        # guarded-by: _cache_lock
         self._layer_grid: dict[str, object] = {}
         # (dimension, level) -> (GridIndex over member keys,
         #                        {member key -> geometry}) | None.
+        # guarded-by: _cache_lock
         self._level_grid: dict[tuple[str, str], object] = {}
         #: Linearizes lazy index builds against the ``note_*_change``
         #: invalidation hooks.  The service only serializes requests
         #: per-session, so two sessions of one tenant can race a build
         #: against a mutation; without the lock the loser could install
         #: a permanently stale index.
-        self._cache_lock = threading.Lock()
+        # An RLock: rollup_member guards its cache store with it and is
+        # also called from rollup_index's build, which already holds it.
+        self._cache_lock = make_rlock("StarSchema._cache_lock")
         #: Observers of every mutation, called with a :class:`StarMutation`
         #: *outside* ``_cache_lock`` (listeners may take their own locks
         #: and read the star back).  The engine's shared view store
@@ -150,10 +165,18 @@ class StarSchema:
         with self._cache_lock:
             self._generation += 1
             generation = self._generation
+            self._member_generations[dimension] = (
+                self._member_generations.get(dimension, 0) + 1
+            )
             for key in [k for k in self._rollup_index if k[0] == dimension]:
                 del self._rollup_index[key]
             for key in [k for k in self._level_grid if k[0] == dimension]:
                 del self._level_grid[key]
+            # The roll-up member cache is generation-keyed, so stale
+            # entries can no longer *hit* — dropping the dimension's
+            # entries here just keeps dead generations from accumulating.
+            for key in [k for k in self._rollup_cache if k[0] == dimension]:
+                del self._rollup_cache[key]
         self._notify(
             StarMutation(
                 kind="member", generation=generation, dimension=dimension
@@ -245,15 +268,18 @@ class StarSchema:
         Schema personalization can run ``AddLayer`` on a star that is
         already loaded; the engine then materializes the table here.
         """
-        if name in self._layers:
+        if name in self._layers:  # lint-ok: check-then-act - GIL-atomic fast path; the store below rechecks under the lock
             return self._layers[name]
         if not isinstance(self.schema, GeoMDSchema):
             raise StorageError(
                 "cannot add a layer table to a non-GeoMD star schema"
             )
         layer = self.schema.layer(name)
-        table = LayerTable(layer)
-        self._layers[name] = table
+        with self._cache_lock:
+            table = self._layers.get(name)
+            if table is None:
+                table = LayerTable(layer)
+                self._layers[name] = table
         self.note_schema_change()
         return table
 
@@ -328,15 +354,17 @@ class StarSchema:
     # -- roll-up ------------------------------------------------------------------
 
     def rollup_member(self, dimension: str, leaf_key: str, level: str) -> Member:
-        """Ancestor of a leaf member at ``level`` (cached)."""
-        cache_key = (dimension, leaf_key, level)
-        cached = self._rollup_cache.get(cache_key)
+        """Ancestor of a leaf member at ``level`` (cached per member generation)."""
+        member_generation = self._member_generations.get(dimension, 0)
+        cache_key = (dimension, leaf_key, level, member_generation)
+        cached = self._rollup_cache.get(cache_key)  # lint-ok: lock-guard, check-then-act - GIL-atomic fast path; the store below rechecks under the lock
         if cached is not None:
             return cached
         table = self.dimension_table(dimension)
         leaf_member = table.member(table.dimension.leaf, leaf_key)
         ancestor = table.rollup(leaf_member, level)
-        self._rollup_cache[cache_key] = ancestor
+        with self._cache_lock:
+            self._rollup_cache.setdefault(cache_key, ancestor)
         return ancestor
 
     def rollup_index(self, dimension: str, level: str) -> dict[str, set[str]]:

@@ -10,9 +10,9 @@ features that ``AddLayer`` exposes to the rules.
 
 from __future__ import annotations
 
-import threading
 from typing import Iterator, Mapping
 
+from repro.concurrency import make_lock
 from repro.errors import StorageError
 from repro.geomd.schema import GEOMETRY_ATTRIBUTE, Layer
 from repro.geometry import Geometry
@@ -197,8 +197,9 @@ class FactTable:
         #: inserts against posting builds: without it a build racing an
         #: insert from another session's request could install a map
         #: permanently missing (or double-counting) the new row.
+        # guarded-by: _lock
         self._postings: dict[str, dict[str, list[int]]] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("FactTable._lock")
 
     def insert(
         self,

@@ -1,0 +1,18 @@
+"""Shared helper: lint an inline fixture source string."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.core import LintRunner, ModuleSource
+
+
+@pytest.fixture()
+def lint():
+    """``lint(source) -> [Violation]`` over a dedented fixture module."""
+
+    def run(source: str, path: str = "fixture.py"):
+        module = ModuleSource(path, textwrap.dedent(source))
+        return LintRunner().run_modules([module])
+
+    return run

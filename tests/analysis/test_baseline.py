@@ -1,0 +1,104 @@
+"""Baseline fingerprints: line-drift stability, split semantics, I/O."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.baseline import Baseline, fingerprint_all
+from repro.analysis.core import LintRunner, ModuleSource
+
+RACY = """
+import threading
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def racy(self, key):
+        if key not in self._items:
+            self._items[key] = object()
+        return self._items[key]
+"""
+
+
+def _lint(source: str, path: str = "pkg/mod.py"):
+    return LintRunner().run_modules(
+        [ModuleSource(path, textwrap.dedent(source))]
+    )
+
+
+class TestFingerprints:
+    def test_stable_under_line_drift(self):
+        before = _lint(RACY)
+        # Insert code above the finding: the line number moves, the
+        # fingerprint must not.
+        drifted = _lint("\nimport os\n\nX = 1\n" + RACY.lstrip("\n"))
+        assert [v.line for v in before] != [v.line for v in drifted]
+        assert [f for f, _ in fingerprint_all(before)] == [
+            f for f, _ in fingerprint_all(drifted)
+        ]
+
+    def test_editing_the_flagged_line_changes_the_fingerprint(self):
+        before = fingerprint_all(_lint(RACY))
+        after = fingerprint_all(
+            _lint(RACY.replace("self._items[key] = object()", "self._items[key] = dict()"))
+        )
+        assert [f for f, _ in before] != [f for f, _ in after]
+
+    def test_identical_findings_get_distinct_occurrence_fingerprints(self):
+        doubled = RACY + textwrap.dedent(
+            """
+            class Registry2:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def racy(self, key):
+                    if key not in self._items:
+                        self._items[key] = object()
+                    return self._items[key]
+            """
+        )
+        fingerprints = [f for f, _ in fingerprint_all(_lint(doubled))]
+        assert len(fingerprints) == len(set(fingerprints)) == 2
+
+
+class TestSplit:
+    def test_new_grandfathered_stale(self):
+        violations = _lint(RACY)
+        baseline = Baseline.from_violations(violations)
+        new, grandfathered, stale = baseline.split(violations)
+        assert (new, stale) == ([], [])
+        assert grandfathered == violations
+
+        # A fixed finding leaves a stale entry behind.
+        new, grandfathered, stale = baseline.split([])
+        assert new == [] and grandfathered == []
+        assert len(stale) == 1
+        assert stale[0]["rule"] == "check-then-act"
+        assert "fingerprint" in stale[0]
+
+        # A fresh finding in unbaselined code is new.
+        other = _lint(RACY, path="pkg/other.py")
+        new, _, _ = baseline.split(other)
+        assert new == other
+
+
+class TestIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        baseline = Baseline.from_violations(_lint(RACY))
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "violations": {}}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)

@@ -1,0 +1,118 @@
+"""The ``repro lint`` subcommand end to end (argparse -> report -> exit)."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+RACY = textwrap.dedent(
+    """
+    import threading
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = {}
+
+        def racy(self, key):
+            if key not in self._items:
+                self._items[key] = object()
+            return self._items[key]
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """
+    import threading
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = {}
+
+        def safe(self, key):
+            with self._lock:
+                if key not in self._items:
+                    self._items[key] = object()
+                return self._items[key]
+    """
+)
+
+
+@pytest.fixture()
+def fixture_file(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(RACY)
+    return path
+
+
+def _lint(*argv):
+    return main(["lint", *argv])
+
+
+class TestReporting:
+    def test_new_violation_fails_with_file_line(self, fixture_file, tmp_path, capsys):
+        code = _lint(str(fixture_file), "--baseline", str(tmp_path / "bl.json"))
+        assert code == 1
+        out = capsys.readouterr()
+        assert f"{fixture_file}:11: check-then-act:" in out.out
+        assert "lint: FAIL" in out.err
+
+    def test_clean_tree_passes(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(CLEAN)
+        assert _lint(str(path), "--baseline", str(tmp_path / "bl.json")) == 0
+        assert "lint: ok (0 new, 0 grandfathered, 0 stale)" in capsys.readouterr().out
+
+    def test_json_format(self, fixture_file, tmp_path, capsys):
+        code = _lint(
+            str(fixture_file),
+            "--baseline",
+            str(tmp_path / "bl.json"),
+            "--format",
+            "json",
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        (violation,) = report["new"]
+        assert violation["rule"] == "check-then-act"
+        assert violation["line"] == 11
+
+
+class TestBaselineWorkflow:
+    def test_write_then_check_grandfathers(self, fixture_file, tmp_path, capsys):
+        baseline = tmp_path / "bl.json"
+        assert _lint(str(fixture_file), "--baseline", str(baseline), "--write-baseline") == 0
+        assert baseline.exists()
+        assert (
+            _lint(str(fixture_file), "--baseline", str(baseline), "--check-baseline")
+            == 0
+        )
+        assert "1 grandfathered" in capsys.readouterr().out
+
+    def test_no_baseline_reports_grandfathered_as_new(self, fixture_file, tmp_path):
+        baseline = tmp_path / "bl.json"
+        _lint(str(fixture_file), "--baseline", str(baseline), "--write-baseline")
+        assert (
+            _lint(str(fixture_file), "--baseline", str(baseline), "--no-baseline")
+            == 1
+        )
+
+    def test_stale_entry_fails_only_under_check_baseline(
+        self, fixture_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "bl.json"
+        _lint(str(fixture_file), "--baseline", str(baseline), "--write-baseline")
+        fixture_file.write_text(CLEAN)  # the finding is fixed...
+        # ...without --check-baseline the stale entry is informational,
+        assert _lint(str(fixture_file), "--baseline", str(baseline)) == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+        # ...with it the baseline must be regenerated.
+        assert (
+            _lint(str(fixture_file), "--baseline", str(baseline), "--check-baseline")
+            == 1
+        )
+        assert "lint: FAIL (0 new, 0 grandfathered, 1 stale)" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""The sanitizer pytest plugin, exercised in a subprocess for isolation."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CYCLE_TEST = textwrap.dedent(
+    """
+    from repro.concurrency import make_lock
+
+    def test_seeded_cycle():
+        a = make_lock("SeedA")
+        b = make_lock("SeedB")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+    """
+)
+
+
+def _run_pytest(tmp_path, *, env_extra, baseline=None):
+    (tmp_path / "test_cycle.py").write_text(CYCLE_TEST)
+    if baseline is not None:
+        (tmp_path / "lock-order-baseline.json").write_text(json.dumps(baseline))
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    # The outer run may itself be sanitized (CI's instrumented job);
+    # each subprocess decides purely from env_extra.
+    env.pop("REPRO_SANITIZE", None)
+    env.pop("REPRO_SANITIZE_GRAPH", None)
+    env.pop("PYTEST_CURRENT_TEST", None)
+    env.update(env_extra)
+    return subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "test_cycle.py",
+            "-q",
+            "-p",
+            "repro.analysis.pytest_plugin",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_seeded_cycle_fails_the_run_and_writes_the_graph(tmp_path):
+    graph_path = tmp_path / "lock-order-graph.json"
+    result = _run_pytest(
+        tmp_path,
+        env_extra={
+            "REPRO_SANITIZE": "1",
+            "REPRO_SANITIZE_GRAPH": str(graph_path),
+        },
+    )
+    assert result.returncode == 1, result.stdout + result.stderr
+    assert "lock-order cycles not grandfathered" in result.stdout
+    assert "SeedA <-> SeedB" in result.stdout
+    graph = json.loads(graph_path.read_text())
+    assert ["SeedA", "SeedB"] in graph["cycles"]
+    held = {(edge["held"], edge["acquired"]) for edge in graph["edges"]}
+    assert {("SeedA", "SeedB"), ("SeedB", "SeedA")} <= held
+
+
+def test_grandfathered_cycle_passes(tmp_path):
+    result = _run_pytest(
+        tmp_path,
+        env_extra={"REPRO_SANITIZE": "1"},
+        baseline={"cycles": [["SeedA", "SeedB"]]},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "lock-order sanitizer:" in result.stdout
+
+
+def test_plugin_is_inert_without_the_env_switch(tmp_path):
+    graph_path = tmp_path / "lock-order-graph.json"
+    result = _run_pytest(
+        tmp_path,
+        env_extra={"REPRO_SANITIZE_GRAPH": str(graph_path)},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "lock-order sanitizer" not in result.stdout
+    assert not graph_path.exists()

@@ -1,0 +1,52 @@
+"""The acceptance gate, run as a test: the real tree is lint-clean.
+
+This is the same check CI's lint job runs (``repro lint src
+--check-baseline``): zero new findings over ``src/`` and zero stale
+entries in the committed ``lint-baseline.json``.  Keeping it inside
+tier-1 means a violation fails the ordinary test run too, not just the
+dedicated CI job.
+"""
+
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import LintRunner
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _relative_src_violations():
+    # Lint with repo-root-relative paths so fingerprints match the
+    # committed baseline regardless of the invocation directory.
+    import os
+
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        return LintRunner().run(["src"])
+    finally:
+        os.chdir(cwd)
+
+
+def test_src_is_clean_against_committed_baseline():
+    violations = _relative_src_violations()
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    new, grandfathered, stale = baseline.split(violations)
+    assert [v.format() for v in new] == []
+    assert [entry["fingerprint"] for entry in stale] == []
+    # The grandfather set is the small, deliberate double-checked
+    # fast-path reads; it only ever shrinks.
+    assert len(grandfathered) == len(baseline)
+
+
+def test_baseline_is_small_and_lock_guard_only():
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    assert 0 < len(baseline) <= 6
+    assert {entry["rule"] for entry in baseline.entries.values()} == {"lock-guard"}
+
+
+def test_lock_order_baseline_is_empty():
+    import json
+
+    data = json.loads((REPO_ROOT / "lock-order-baseline.json").read_text())
+    assert data["cycles"] == []

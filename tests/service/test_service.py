@@ -194,3 +194,37 @@ class TestAnalysisOperations:
             assert outcome.matched_rules == ["IntAirportCity"]
         rerun = service.rerun_instance_rules(token)
         assert rerun.view["fact_rows_kept"] > before
+
+
+class TestHealthLocks:
+    def test_locks_null_without_sanitizer(self, service, monkeypatch):
+        # The instrumented path is opt-in: normal operation reports
+        # null.  (The outer run may itself be sanitized; monkeypatch
+        # restores the global on teardown.)
+        from repro.analysis import sanitizer
+
+        monkeypatch.delenv(sanitizer.ENV_SWITCH, raising=False)
+        monkeypatch.setattr(sanitizer, "_active", None)
+        assert service.health()["locks"] is None
+
+    def test_locks_reported_under_sanitizer(self, engine, profile, clock):
+        from repro.analysis import sanitizer
+
+        previous = sanitizer.current()
+        sanitizer.activate()
+        try:
+            registry = DatamartRegistry()
+            registry.register(
+                "sales", engine, description="paper scenario"
+            ).register_user(profile)
+            sanitized = PersonalizationService(
+                registry,
+                session_store=InMemorySessionStore(ttl=100.0, clock=clock),
+            )
+            locks = sanitized.health()["locks"]
+        finally:
+            sanitizer.deactivate(previous)
+        assert locks["enabled"] is True
+        assert locks["cycles"] == []
+        assert locks["locks"]["PersonalizationService._lock"]["instances"] == 1
+        assert "InMemorySessionStore._lock" in locks["locks"]

@@ -105,6 +105,18 @@ class TestRollupCache:
         # Cached path returns the identical object.
         assert empty_star.rollup_member("Store", "S1", "State") is ancestor
 
+    def test_member_change_refreshes_rollup_cache(self, empty_star):
+        # Pins the PR-6 fix: the roll-up member cache is generation-
+        # keyed, so an in-place hierarchy edit followed by
+        # note_member_change must not serve the stale ancestor.
+        _load_minimal(empty_star)
+        assert empty_star.rollup_member("Store", "S1", "State").key == "Valencia"
+        empty_star.add_member("Store", "State", "Murcia")
+        table = empty_star.dimension_table("Store")
+        table.member("City", "Alicante").parents["State"] = "Murcia"
+        empty_star.note_member_change("Store")
+        assert empty_star.rollup_member("Store", "S1", "State").key == "Murcia"
+
     def test_leaf_keys_rolled_to(self, empty_star):
         _load_minimal(empty_star)
         keys = empty_star.leaf_keys_rolled_to("Store", "City", {"Alicante"})
