@@ -28,6 +28,19 @@ The EXT5 mixes exercise the PR 4 shared materialized-view store:
   identical sequence (the generic gate would otherwise compare different
   data states).
 
+The EXT6 mix exercises the PR 7 dictionary-encoded columnar engine:
+
+* ``ext6_columnar_scan`` — a scan/rollup query mix on a fresh world
+  whose fact table is 100x the scale tier's cardinality (10x under
+  ``--smoke``), run through the vectorized batch executor and the
+  row-loop reference executor.  Every query must answer bit-identically
+  on both before timing (the identical-response gate applied to the
+  storage engine itself).
+
+``--scale`` picks the world size tier; the tier and the resulting fact
+row count are recorded in the JSON artefact so BENCH_*.json entries
+carry their scale and EXT6's cardinality multiplier is reproducible.
+
 Usage::
 
     python benchmarks/run_benchmarks.py --smoke --out BENCH_PR4.json
@@ -39,6 +52,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import platform
@@ -58,6 +72,15 @@ from repro.data import (  # noqa: E402
     generate_world,
     replay_demo_workload,
 )
+from repro.mdm import Aggregator  # noqa: E402
+from repro.olap import (  # noqa: E402
+    AggSpec,
+    AttributeFilter,
+    ComparisonOp,
+    CubeQuery,
+    LevelRef,
+)
+from repro.olap.query import execute, execute_reference  # noqa: E402
 from repro.personalization import PersonalizationEngine  # noqa: E402
 from repro.web import PortalApp  # noqa: E402
 
@@ -72,6 +95,13 @@ SCALES = {
         stores_per_city=5,
         customers_per_city=20,
         sales=10_000,
+    ),
+    "large": WorldConfig(
+        seed=7,
+        cities_per_state=10,
+        stores_per_city=8,
+        customers_per_city=30,
+        sales=50_000,
     ),
 }
 
@@ -108,6 +138,10 @@ def login(app, profile, world) -> str:
 def set_caches(app, engine, star, enabled: bool) -> None:
     engine.enable_caches = enabled
     star.use_indexes = enabled
+    # The disabled mode also routes queries through the row-loop
+    # reference executor, so the transparency gates double as an
+    # end-to-end identical-response check on the columnar engine.
+    star.use_vectorized = enabled
     app.service.query_cache_size = 256 if enabled else 0
     app.service._query_cache.clear()
     app.service.recommender.enable_memo = enabled
@@ -287,7 +321,101 @@ def bench_ext5b(scale: str, rounds: int) -> dict:
     return result
 
 
-def run(scale: str, rounds: int, out_path: str | None) -> dict:
+def bench_ext6(scale: str, multiplier: int) -> dict:
+    """Vectorized columnar executor vs the row-loop reference.
+
+    Builds a fresh world whose fact table holds ``multiplier`` times the
+    scale tier's sales count, then runs a scan/rollup query mix through
+    :func:`execute` (dictionary-encoded batch path) and
+    :func:`execute_reference` (per-row ``rollup_member`` loop).  Before
+    timing, every query must answer bit-identically on both executors —
+    the identical-response protocol the cache benches enforce on HTTP
+    bodies, applied here to the storage engine itself.
+    """
+    base = SCALES[scale]
+    config = dataclasses.replace(base, sales=base.sales * multiplier)
+    star = build_sales_star(generate_world(config))
+    fact_rows = len(star.fact_table())
+
+    cities = sorted(
+        member.key
+        for member in star.dimension_table("Store").members("City")
+    )
+    queries = [
+        CubeQuery(
+            "Sales",
+            [AggSpec(Aggregator.SUM, "UnitSales")],
+            group_by=[LevelRef("Product", "Family")],
+        ),
+        CubeQuery(
+            "Sales",
+            [
+                AggSpec(Aggregator.SUM, "StoreSales"),
+                AggSpec(Aggregator.AVG, "StoreSales"),
+            ],
+            group_by=[LevelRef("Store", "City")],
+        ),
+        CubeQuery(
+            "Sales",
+            [AggSpec(Aggregator.COUNT, "*")],
+            group_by=[LevelRef("Store", "State")],
+            where=[
+                AttributeFilter(
+                    LevelRef("Store", "City"),
+                    "name",
+                    ComparisonOp.IN,
+                    tuple(cities[: max(len(cities) // 2, 1)]),
+                )
+            ],
+        ),
+    ]
+
+    # Identical-response gate (also warms the translation tables so the
+    # timed runs compare steady states).
+    assert star.use_vectorized
+    for query in queries:
+        reference = execute_reference(star, query)
+        vectorized = execute(star, query)
+        assert vectorized.fact_rows_scanned == reference.fact_rows_scanned
+        assert vectorized.fact_rows_matched == reference.fact_rows_matched
+        assert set(vectorized.cells) == set(reference.cells), (
+            "ext6_columnar_scan: cell coordinates differ"
+        )
+        for coordinate, cell in reference.cells.items():
+            got = vectorized.cells[coordinate]
+            # Bit-identical, not approximately equal.
+            assert tuple(map(repr, got)) == tuple(map(repr, cell)), (
+                f"ext6_columnar_scan: cell {coordinate} differs"
+            )
+
+    rounds = 2 if multiplier >= 100 else 5
+    timings = {}
+    for label, runner in (
+        ("reference", execute_reference),
+        ("vectorized", execute),
+    ):
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for query in queries:
+                runner(star, query)
+        timings[label] = (time.perf_counter() - started) / rounds
+    scanned = fact_rows * len(queries)
+    return {
+        "fact_multiplier": multiplier,
+        "fact_rows": fact_rows,
+        "queries": len(queries),
+        "rounds": rounds,
+        "reference_s": round(timings["reference"], 4),
+        "vectorized_s": round(timings["vectorized"], 4),
+        "reference_rows_per_s": round(scanned / timings["reference"]),
+        "vectorized_rows_per_s": round(scanned / timings["vectorized"]),
+        "speedup": round(timings["reference"] / timings["vectorized"], 2),
+    }
+
+
+def run(
+    scale: str, rounds: int, out_path: str | None, ext6_multiplier: int = 100
+) -> dict:
     world, star, engine, profile, app, demo_tokens = build_portal(scale)
     token = login(app, profile, world)
     mixes = make_mixes(
@@ -314,8 +442,9 @@ def run(scale: str, rounds: int, out_path: str | None) -> dict:
         assert uncached == cached, f"{name}: cached response differs"
 
     results: dict = {
-        "series": "EXT3+EXT4+EXT5",
+        "series": "EXT3+EXT4+EXT5+EXT6",
         "scale": scale,
+        "fact_rows": len(star.fact_table()),
         "rounds": per_mix_rounds,
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -372,6 +501,16 @@ def run(scale: str, rounds: int, out_path: str | None) -> dict:
         f"view store {ext5b['view_store']}"
     )
 
+    results["mixes"]["ext6_columnar_scan"] = ext6 = bench_ext6(
+        scale, ext6_multiplier
+    )
+    results["rounds"]["ext6_columnar_scan"] = ext6.pop("rounds")
+    print(
+        f"[ext6_columnar_scan] {ext6['fact_rows']:,} rows "
+        f"(x{ext6['fact_multiplier']}): reference {ext6['reference_s']}s -> "
+        f"vectorized {ext6['vectorized_s']}s ({ext6['speedup']:.1f}x)"
+    )
+
     if out_path:
         Path(out_path).write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {out_path}")
@@ -388,7 +527,10 @@ def main() -> int:
     parser.add_argument("--out", default=None, help="JSON artefact path")
     args = parser.parse_args()
     rounds = 100 if args.smoke else args.rounds
-    results = run(args.scale, rounds, args.out)
+    # Smoke runs keep EXT6 at small cardinality so CI can afford it; the
+    # 100x claim is only asserted on full runs.
+    multiplier = 10 if args.smoke else 100
+    results = run(args.scale, rounds, args.out, ext6_multiplier=multiplier)
     # The PR 2 acceptance bar: repeated views must be >= 5x faster.
     ext3a = results["mixes"]["ext3a_repeated_view"]
     if ext3a["speedup"] < 5.0:
@@ -418,6 +560,13 @@ def main() -> int:
             f"{ext5b_store}",
             file=sys.stderr,
         )
+        return 1
+    # The PR 7 bar: at 100x cardinality the vectorized executor must be
+    # >= 5x the row-loop reference (timing gates are skipped in smoke
+    # mode, where the multiplier is too small to be meaningful).
+    ext6 = results["mixes"]["ext6_columnar_scan"]
+    if ext6["fact_multiplier"] >= 100 and ext6["speedup"] < 5.0:
+        print(f"FAIL: EXT6 speedup {ext6['speedup']}x < 5x", file=sys.stderr)
         return 1
     return 0
 

@@ -11,9 +11,10 @@ One pass over a module's classes yields, per class:
   dataclass fields whose factory mentions one of those), consumed by
   ``check-then-act`` to decide a class has shared state worth guarding;
 * **cache-like attributes** — :class:`repro.lru.ThreadSafeLRU` instances
-  and dict-shaped attributes whose name contains ``memo`` or ``cache``,
-  consumed by ``gen-key`` to find insertions whose keys must carry a
-  generation component.
+  and dict-shaped attributes whose name contains ``memo``, ``cache`` or
+  ``translation`` (the star's roll-up translation tables), consumed by
+  ``gen-key`` to find insertions whose keys must carry a generation
+  component.
 """
 
 from __future__ import annotations
@@ -26,7 +27,7 @@ from repro.analysis.core import ModuleSource
 
 __all__ = ["ClassInfo", "collect_classes"]
 
-_CACHE_NAME_RE = re.compile(r"(memo|cache)", re.IGNORECASE)
+_CACHE_NAME_RE = re.compile(r"(memo|cache|translation)", re.IGNORECASE)
 _LOCK_FACTORY_NAMES = {"Lock", "RLock", "make_lock", "make_rlock"}
 _DICTISH_CALL_NAMES = {"dict", "OrderedDict", "defaultdict", "WeakValueDictionary"}
 

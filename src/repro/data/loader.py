@@ -118,6 +118,7 @@ def load_world(world: World, star: StarSchema) -> None:
     # -- Sales facts -------------------------------------------------------------
     store_names = [s.name for s in world.stores]
     customer_names = [c.name for c in world.customers]
+    sales_rows: list[tuple[dict[str, str], dict[str, float]]] = []
     for _ in range(config.sales):
         store = rng.choice(store_names)
         customer = rng.choice(customer_names)
@@ -126,20 +127,24 @@ def load_world(world: World, star: StarSchema) -> None:
         units = rng.randint(1, 10)
         unit_cost = rng.uniform(0.5, 80.0)
         margin = rng.uniform(1.1, 1.6)
-        star.insert_fact(
-            FACT_NAME,
-            {
-                "Store": store,
-                "Customer": customer,
-                "Product": product,
-                "Time": day_name,
-            },
-            {
-                "UnitSales": units,
-                "StoreCost": round(units * unit_cost, 2),
-                "StoreSales": round(units * unit_cost * margin, 2),
-            },
+        sales_rows.append(
+            (
+                {
+                    "Store": store,
+                    "Customer": customer,
+                    "Product": product,
+                    "Time": day_name,
+                },
+                {
+                    "UnitSales": units,
+                    "StoreCost": round(units * unit_cost, 2),
+                    "StoreSales": round(units * unit_cost * margin, 2),
+                },
+            )
         )
+    # One batch: one lock acquisition, one dictionary encode pass, one
+    # StarMutation for the whole load instead of one per row.
+    star.insert_facts(FACT_NAME, sales_rows)
 
 
 def build_sales_star(world: World) -> StarSchema:

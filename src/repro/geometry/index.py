@@ -11,12 +11,19 @@ from __future__ import annotations
 
 import heapq
 import math
+from array import array
 from typing import Generic, Hashable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.errors import GeometryError
 from repro.geometry.gtypes import Envelope, Geometry, Point
+from repro.vectorized import numpy_backend
 
-__all__ = ["GridIndex", "STRtree", "brute_force_within_distance"]
+__all__ = [
+    "EnvelopeColumns",
+    "GridIndex",
+    "STRtree",
+    "brute_force_within_distance",
+]
 
 T = TypeVar("T", bound=Hashable)
 
@@ -41,6 +48,70 @@ def brute_force_within_distance(
     from repro.geometry import ops
 
     return [item for geom, item in items if ops.distance(geom, center) <= radius]
+
+
+class EnvelopeColumns(Generic[T]):
+    """Columnar envelope store: four parallel coordinate arrays.
+
+    The struct-of-arrays counterpart of an envelope prefilter: the
+    entries' bounding boxes are stored as ``array('d')`` columns
+    (``min_x``/``min_y``/``max_x``/``max_y``) and an envelope query is
+    one vectorized range test over all four — a tight C-level loop
+    (or four numpy comparisons when the ``REPRO_NUMPY=1`` backend is
+    on), with none of the grid's cell bookkeeping.  The candidate set
+    is exactly :meth:`Envelope.intersects` applied to every entry, so
+    it is a drop-in replacement for :meth:`GridIndex.query_envelope`.
+    """
+
+    __slots__ = ("_items", "_min_x", "_min_y", "_max_x", "_max_y")
+
+    def __init__(self, entries: Sequence[tuple[Geometry, T]]) -> None:
+        if not entries:
+            raise GeometryError("cannot build an index over zero entries")
+        self._items: list[T] = []
+        self._min_x = array("d")
+        self._min_y = array("d")
+        self._max_x = array("d")
+        self._max_y = array("d")
+        for geom, item in entries:
+            env = geom.envelope
+            self._items.append(item)
+            self._min_x.append(env.min_x)
+            self._min_y.append(env.min_y)
+            self._max_x.append(env.max_x)
+            self._max_y.append(env.max_y)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def query_envelope(self, env: Envelope) -> list[T]:
+        """Items whose envelope intersects ``env`` (candidate set)."""
+        qmin_x, qmin_y = env.min_x, env.min_y
+        qmax_x, qmax_y = env.max_x, env.max_y
+        np = numpy_backend()
+        if np is not None:
+            min_x = np.frombuffer(self._min_x, dtype=np.float64)
+            min_y = np.frombuffer(self._min_y, dtype=np.float64)
+            max_x = np.frombuffer(self._max_x, dtype=np.float64)
+            max_y = np.frombuffer(self._max_y, dtype=np.float64)
+            hits = (
+                (max_x >= qmin_x)
+                & (min_x <= qmax_x)
+                & (max_y >= qmin_y)
+                & (min_y <= qmax_y)
+            )
+            items = self._items
+            return [items[i] for i in np.flatnonzero(hits).tolist()]
+        return [
+            item
+            for item, imin_x, imin_y, imax_x, imax_y in zip(
+                self._items, self._min_x, self._min_y, self._max_x, self._max_y
+            )
+            if imax_x >= qmin_x
+            and imin_x <= qmax_x
+            and imax_y >= qmin_y
+            and imin_y <= qmax_y
+        ]
 
 
 class GridIndex(Generic[T]):

@@ -17,10 +17,13 @@ Two filter families exist:
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Iterable, Mapping, Sequence
 
 from repro.errors import QueryError
+from repro.vectorized import numpy_backend
 from repro.geomd.schema import GeoMDSchema
 from repro.geometry import Geometry, PlanarMetric, Metric
 from repro.geometry.algorithms import EPS as _EPS
@@ -44,6 +47,7 @@ __all__ = [
     "CubeQuery",
     "CellSet",
     "execute",
+    "execute_reference",
 ]
 
 
@@ -369,7 +373,7 @@ def _spatial_matching_with_index(
     targets: list[Geometry],
 ) -> set[str]:
     """Member keys matching ``flt``, pre-filtered through the star's
-    cached :class:`~repro.geometry.index.GridIndex` envelopes.
+    cached :class:`~repro.geometry.index.EnvelopeColumns` envelopes.
 
     Two orientations, chosen by which side is smaller: usually targets
     are few (layer features, literal geometries), so each target's
@@ -509,18 +513,12 @@ def _allowed_keys_for_spatial_filter(
     return star.leaf_keys_rolled_to(flt.ref.dimension, level, matching)
 
 
-def execute(
-    star: StarSchema,
-    query: CubeQuery,
-    selection: Iterable[int] | None = None,
-    metric: Metric | None = None,
-) -> CellSet:
-    """Run a cube query.
+def _prepare(star: StarSchema, query: CubeQuery, metric: Metric | None):
+    """Shared validation + phase 1 (filters → allowed leaf keys).
 
-    ``selection`` optionally restricts the scan to specific fact row ids —
-    this is how personalized instance views (``SelectInstance``) plug into
-    ordinary, *non-spatial* downstream queries, the scenario of
-    Section 4.2.4 of the paper.
+    Returns ``(fact, fact_table, group_levels, allowed)``; both executors
+    run phase 2 over this, so filter semantics can never drift between
+    the vectorized path and the row-loop reference.
     """
     metric = metric or PlanarMetric()
     schema = star.schema
@@ -555,7 +553,11 @@ def execute(
             raise QueryError(f"fact {fact.name!r} has no dimension {dim!r}")
         allowed[dim] = allowed[dim] & keys if dim in allowed else keys
 
-    # Phase 2: scan, group, aggregate.
+    return fact, fact_table, group_levels, allowed
+
+
+def _execute_rowloop(star, query, selection, fact, fact_table, group_levels, allowed) -> CellSet:
+    """Phase 2, row-at-a-time: the original reference semantics."""
     key_columns = {dim: fact_table.key_column(dim) for dim, _ in group_levels}
     filter_columns = {dim: fact_table.key_column(dim) for dim in allowed}
     measure_columns = {
@@ -601,3 +603,219 @@ def execute(
         fact_rows_scanned=scanned,
         fact_rows_matched=matched,
     )
+
+
+def _execute_vectorized(star, query, selection, fact, fact_table, group_levels, allowed) -> CellSet:
+    """Phase 2, batch-wise over the encoded columns.
+
+    Filters become byte masks over code columns (big-int AND across
+    dimensions), the group-by becomes leaf-code → ancestor-ordinal
+    translation (:meth:`StarSchema.rollup_translation`) combined into a
+    single integer group id per row, and aggregation accumulates per
+    group id in measure-column order — the same row order as the
+    reference loop, so float results are bit-identical.  With the numpy
+    backend on, mask evaluation and code translation run as array
+    gathers; float accumulation deliberately stays in the ordered
+    Python loop to preserve bit-identical rounding.
+    """
+    np = numpy_backend(star.use_numpy)
+    n = len(fact_table)
+    rows: Sequence[int]
+    if selection is not None:
+        # Preserve the selection's order and duplicates: the reference
+        # executor scans it as-is, and float accumulation order matters.
+        sel_rows = list(selection)
+        scanned = len(sel_rows)
+        if allowed:
+            lookups = [
+                (
+                    fact_table.key_codes(dim),
+                    fact_table.dictionary(dim).lookup_mask(keys),
+                )
+                for dim, keys in allowed.items()
+            ]
+            rows = [
+                row_id
+                for row_id in sel_rows
+                if all(mask[column[row_id]] for column, mask in lookups)
+            ]
+        else:
+            rows = sel_rows
+    else:
+        scanned = n
+        if allowed:
+            rows = fact_table.rows_matching(allowed)
+            while rows and rows[-1] >= n:  # rows appended since len() above
+                rows.pop()
+        else:
+            rows = range(n)
+    matched = len(rows)
+
+    use_np = np is not None and matched > 0
+    row_index = None
+    if use_np and not isinstance(rows, range):
+        row_index = np.asarray(rows, dtype=np.intp)
+
+    # Group ids: translate each group dimension's leaf codes to ancestor
+    # ordinals, then mix into one int per row (radix = per-level key count).
+    translations = [
+        star.rollup_translation(fact.name, dim, level)
+        for dim, level in group_levels
+    ]
+    key_lists = [list(t.keys) for t in translations]
+    sizes = [len(keys) for keys in key_lists]
+    gids: list[int] | None = None
+    if group_levels and matched:
+        if use_np:
+            np_gids = None
+            for (dim, _level), translation, size in zip(
+                group_levels, translations, sizes
+            ):
+                column = fact_table.key_codes(dim)
+                codes = np.frombuffer(column.tobytes(), dtype=np.intc, count=n)
+                if row_index is not None:
+                    codes = codes[row_index]
+                table = np.frombuffer(translation.codes.tobytes(), dtype=np.intc)
+                ordinals = table[codes].astype(np.int64)
+                np_gids = (
+                    ordinals if np_gids is None else np_gids * size + ordinals
+                )
+            gids = np_gids.tolist()
+        else:
+            for (dim, _level), translation, size in zip(
+                group_levels, translations, sizes
+            ):
+                column = fact_table.key_codes(dim)
+                if isinstance(rows, range):
+                    leaf_codes = islice(column, n)
+                else:
+                    leaf_codes = map(column.__getitem__, rows)
+                ordinals = map(translation.codes.__getitem__, leaf_codes)
+                if gids is None:
+                    gids = list(ordinals)
+                else:
+                    gids = [g * size + o for g, o in zip(gids, ordinals)]
+    if gids is None:
+        gids = [0] * matched
+
+    counts = Counter(gids)
+
+    # Measure columns restricted to the matched rows, in row order.
+    value_lists: dict[str, list[float]] = {}
+    for spec in query.aggregations:
+        measure = spec.measure
+        if measure == "*" or measure in value_lists:
+            continue
+        column = fact_table.measure_values(measure)
+        if use_np:
+            values = np.frombuffer(column.tobytes(), dtype=np.float64, count=n)
+            if row_index is not None:
+                values = values[row_index]
+            value_lists[measure] = values.tolist()
+        elif isinstance(rows, range):
+            value_lists[measure] = list(islice(column, n))
+        else:
+            value_lists[measure] = list(map(column.__getitem__, rows))
+
+    spec_results: list[dict[int, float]] = []
+    for spec in query.aggregations:
+        agg = spec.aggregator
+        if agg is Aggregator.COUNT:
+            spec_results.append({g: float(c) for g, c in counts.items()})
+            continue
+        values = value_lists[spec.measure]
+        if agg in (Aggregator.SUM, Aggregator.AVG):
+            sums: dict[int, float] = {}
+            for g, v in zip(gids, values):
+                acc = sums.get(g)
+                # "v + 0.0" mirrors the reference's "total = 0.0; total
+                # += v" first step (normalizes -0.0 identically).
+                sums[g] = v + 0.0 if acc is None else acc + v
+            if agg is Aggregator.SUM:
+                spec_results.append(sums)
+            else:
+                spec_results.append(
+                    {g: total / counts[g] for g, total in sums.items()}
+                )
+        elif agg is Aggregator.MIN:
+            mins: dict[int, float] = {}
+            for g, v in zip(gids, values):
+                cur = mins.get(g)
+                if cur is None or v < cur:
+                    mins[g] = v
+            spec_results.append(mins)
+        elif agg is Aggregator.MAX:
+            maxs: dict[int, float] = {}
+            for g, v in zip(gids, values):
+                cur = maxs.get(g)
+                if cur is None or v > cur:
+                    maxs[g] = v
+            spec_results.append(maxs)
+        else:  # COUNT_DISTINCT
+            distinct: dict[int, set[float]] = {}
+            for g, v in zip(gids, values):
+                seen = distinct.get(g)
+                if seen is None:
+                    distinct[g] = {v}
+                else:
+                    seen.add(v)
+            spec_results.append(
+                {g: float(len(seen)) for g, seen in distinct.items()}
+            )
+
+    cells: dict[tuple[str, ...], tuple[float, ...]] = {}
+    for gid in counts:
+        parts = []
+        g = gid
+        for size, keys in zip(reversed(sizes), reversed(key_lists)):
+            g, ordinal = divmod(g, size)
+            parts.append(keys[ordinal])
+        coordinate = tuple(reversed(parts))
+        cells[coordinate] = tuple(results[gid] for results in spec_results)
+    return CellSet(
+        axes=tuple(query.group_by),
+        labels=tuple(spec.label for spec in query.aggregations),
+        cells=cells,
+        fact_rows_scanned=scanned,
+        fact_rows_matched=matched,
+    )
+
+
+def execute(
+    star: StarSchema,
+    query: CubeQuery,
+    selection: Iterable[int] | None = None,
+    metric: Metric | None = None,
+) -> CellSet:
+    """Run a cube query.
+
+    ``selection`` optionally restricts the scan to specific fact row ids —
+    this is how personalized instance views (``SelectInstance``) plug into
+    ordinary, *non-spatial* downstream queries, the scenario of
+    Section 4.2.4 of the paper.
+
+    Dispatches to the columnar batch executor unless the star's
+    ``use_vectorized`` transparency switch is off, in which case the
+    row-loop reference path runs (see :func:`execute_reference`); the
+    two produce bit-identical cell sets.
+    """
+    prep = _prepare(star, query, metric)
+    if star.use_vectorized:
+        return _execute_vectorized(star, query, selection, *prep)
+    return _execute_rowloop(star, query, selection, *prep)
+
+
+def execute_reference(
+    star: StarSchema,
+    query: CubeQuery,
+    selection: Iterable[int] | None = None,
+    metric: Metric | None = None,
+) -> CellSet:
+    """Run a cube query on the row-loop reference executor, always.
+
+    The baseline of the identical-response benchmark gate and of the
+    equivalence property tests: one :meth:`StarSchema.rollup_member`
+    call per row, streaming :class:`_Accumulator` per group.
+    """
+    prep = _prepare(star, query, metric)
+    return _execute_rowloop(star, query, selection, *prep)

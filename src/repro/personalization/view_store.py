@@ -183,10 +183,6 @@ class ViewStore:
         and are carried to the new generation as-is.
         """
         with self._lock:
-            # One coordinates lookup per delta row, shared by every
-            # patched entry (they all target mutation.fact) — not one per
-            # entry per row while holding the store lock.
-            row_coordinates: dict[int, dict[str, str]] | None = None
             for key in list(self._entries):
                 fact, fingerprint, generation = key
                 entry = self._entries.pop(key)
@@ -198,15 +194,7 @@ class ViewStore:
                     self._entries[new_key] = entry
                     self.carries += 1
                     continue
-                if row_coordinates is None:
-                    fact_table = star.fact_table(mutation.fact)
-                    row_coordinates = {
-                        row_id: fact_table.coordinates(row_id)
-                        for row_id in mutation.row_ids
-                    }
-                entry.view = self._patch(
-                    star, entry, mutation.row_ids, row_coordinates
-                )
+                entry.view = self._patch(star, entry, mutation.row_ids)
                 self._entries[new_key] = entry
                 self.patches += 1
             self._trim()
@@ -216,7 +204,6 @@ class ViewStore:
         star: StarSchema,
         entry: _Entry,
         row_ids: tuple[int, ...],
-        row_coordinates: dict[int, dict[str, str]],
     ) -> "PersonalizedView":
         from repro.personalization.engine import PersonalizedView
 
@@ -233,13 +220,11 @@ class ViewStore:
                     star, star.fact_table(view.fact)
                 )
             if entry.relevant:
-                fresh = [
-                    row_id
-                    for row_id in fresh
-                    if selection.row_matches(
-                        row_coordinates[row_id], entry.relevant
-                    )
-                ]
+                # Filter the delta on the encoded columns directly
+                # (rows_matching takes no locks, so no new lock edges).
+                fresh = star.fact_table(view.fact).rows_matching(
+                    entry.relevant, row_ids=fresh
+                )
         if not fresh:
             return view
         return PersonalizedView(

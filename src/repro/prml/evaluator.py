@@ -288,12 +288,7 @@ class SelectionSet:
                     return []
             assert surviving is not None
             return sorted(surviving)
-        columns = {dim: fact_table.key_column(dim) for dim in relevant}
-        return [
-            row_id
-            for row_id in fact_table.row_ids()
-            if all(columns[dim][row_id] in keys for dim, keys in relevant.items())
-        ]
+        return fact_table.rows_matching(relevant)
 
 
 class GeoDataSource(Protocol):

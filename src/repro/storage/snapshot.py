@@ -64,9 +64,18 @@ def star_to_dict(star: StarSchema) -> dict:
         data["dimensions"][dim_name] = levels
     for fact_name in schema.facts:
         table = star.fact_table(fact_name)
+        n = len(table)
+        # Fact columns travel dictionary-encoded, mirroring the in-memory
+        # layout: per dimension the interned keys in code order plus the
+        # raw code column.  Codes are assigned in first-appearance order
+        # on both sides, so a round trip is bit-identical.
         data["facts"][fact_name] = {
-            "keys": {
-                dim: list(table.key_column(dim))
+            "dictionaries": {
+                dim: table.dictionary(dim).keys()
+                for dim in table.fact.dimension_names
+            },
+            "codes": {
+                dim: list(table.key_codes(dim))[:n]
                 for dim in table.fact.dimension_names
             },
             "measures": {
@@ -131,7 +140,23 @@ def star_from_dict(data: dict) -> StarSchema:
                 )
 
     for fact_name, fact_data in data["facts"].items():
-        keys = fact_data["keys"]
+        if "codes" in fact_data:
+            # Dictionary-encoded format: decode each dimension's code
+            # column through its interned key list.
+            dictionaries = fact_data["dictionaries"]
+            keys = {}
+            for dim, codes in fact_data["codes"].items():
+                interned = dictionaries.get(dim, [])
+                try:
+                    keys[dim] = [interned[code] for code in codes]
+                except (IndexError, TypeError):
+                    raise StorageError(
+                        f"snapshot fact {fact_name!r}: code column for "
+                        f"{dim!r} references codes beyond its dictionary "
+                        f"({len(interned)} keys)"
+                    ) from None
+        else:
+            keys = fact_data["keys"]  # legacy row-keys format
         measures = fact_data["measures"]
         dims = list(keys)
         measure_names = list(measures)
@@ -142,12 +167,16 @@ def star_from_dict(data: dict) -> StarSchema:
             raise StorageError(
                 f"snapshot fact {fact_name!r} has ragged columns: {counts}"
             )
-        for row in range(next(iter(counts), 0)):
-            star.insert_fact(
-                fact_name,
-                {dim: keys[dim][row] for dim in dims},
-                {m: measures[m][row] for m in measure_names},
-            )
+        star.insert_facts(
+            fact_name,
+            [
+                (
+                    {dim: keys[dim][row] for dim in dims},
+                    {m: measures[m][row] for m in measure_names},
+                )
+                for row in range(next(iter(counts), 0))
+            ],
+        )
 
     for layer_name, features in data["layers"].items():
         table = star.ensure_layer_table(layer_name)

@@ -17,16 +17,18 @@ counter.  Every mutation — member/fact/feature inserts, layer-table
 creation, schema personalization reported through
 :meth:`note_schema_change` — bumps it; downstream caches store the
 generation they were built at and treat any difference as a miss.  The
-lazy structures owned here (the inverted roll-up index, the per-layer and
-per-level :class:`~repro.geometry.index.GridIndex` envelopes) are instead
-invalidated *in place* by the same hooks, so they can never serve stale
-data.  Setting :attr:`~StarSchema.use_indexes` to ``False`` routes every
+lazy structures owned here (the inverted roll-up index, the leaf-code
+roll-up translation tables, the per-layer and per-level
+:class:`~repro.geometry.index.EnvelopeColumns` envelope columns) are
+instead invalidated *in place* by the same hooks, so they can never
+serve stale data.  Setting :attr:`~StarSchema.use_indexes` to ``False`` routes every
 consumer back to the plain scans (used by the benchmark harness to prove
 the fast paths are transparent).
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
@@ -34,7 +36,7 @@ from repro.concurrency import make_rlock
 from repro.errors import StorageError
 from repro.geomd.schema import GeoMDSchema
 from repro.geometry import Geometry
-from repro.geometry.index import GridIndex
+from repro.geometry.index import EnvelopeColumns
 from repro.mdm.model import MDSchema
 from repro.storage.tables import DimensionTable, FactTable, Feature, LayerTable, Member
 
@@ -69,6 +71,53 @@ class StarMutation:
 _UNBUILT = object()
 
 
+class _RollupTranslation:
+    """Leaf-code → ancestor-ordinal table for one ``(fact, dimension, level)``.
+
+    ``codes[leaf_code]`` is an index into ``keys``, the distinct ancestor
+    keys at the target level in first-encounter order.  This is the unit
+    of the vectorized group-by: translating a fact's code column through
+    ``codes`` replaces one :meth:`StarSchema.rollup_member` call per row
+    with one array gather per column.
+
+    A table is immutable per member generation except for *growth*:
+    when the fact dictionary interns new leaf keys, :meth:`extend`
+    appends their translations under the star's cache lock.  ``codes``
+    and ``keys`` are append-only, so unlocked readers holding a
+    reference stay correct (their row snapshot only references the
+    prefix that existed when they took it).
+    """
+
+    __slots__ = ("member_generation", "codes", "keys", "_ordinals")
+
+    def __init__(self, member_generation: int) -> None:
+        self.member_generation = member_generation
+        self.codes = array("i")
+        self.keys: list[str] = []
+        self._ordinals: dict[str, int] = {}
+
+    def extend(
+        self, star: "StarSchema", table: FactTable, dimension: str, level: str
+    ) -> None:
+        """Translate any leaf codes interned since the last build.
+
+        Must be called under the star's ``_cache_lock``; appends one
+        entry per new dictionary code, resolving ancestry through the
+        (cached) :meth:`StarSchema.rollup_member` path.
+        """
+        dictionary = table.dictionary(dimension)
+        size = len(dictionary)
+        while len(self.codes) < size:
+            leaf_key = dictionary.decode(len(self.codes))
+            ancestor_key = star.rollup_member(dimension, leaf_key, level).key
+            ordinal = self._ordinals.get(ancestor_key)
+            if ordinal is None:
+                ordinal = len(self.keys)
+                self.keys.append(ancestor_key)
+                self._ordinals[ancestor_key] = ordinal
+            self.codes.append(ordinal)
+
+
 class StarSchema:
     """Instance storage for one (Geo)MD schema."""
 
@@ -99,14 +148,27 @@ class StarSchema:
         #: When False, every index-backed fast path falls back to the
         #: original scans (transparency switch for benchmarks/tests).
         self.use_indexes: bool = True
+        #: When False, :func:`repro.olap.query.execute` routes to the
+        #: row-loop reference executor instead of the columnar batch
+        #: path (transparency switch for the identical-response gate).
+        self.use_vectorized: bool = True
+        #: Tri-state numpy override for this star's vectorized kernels:
+        #: ``True``/``False`` force the backend on/off; ``None`` defers
+        #: to the ``REPRO_NUMPY=1`` environment switch.
+        self.use_numpy: bool | None = None
         self._generation = 0
         # (dimension, level) -> {ancestor key -> leaf keys}; lazy.
         # guarded-by: _cache_lock
         self._rollup_index: dict[tuple[str, str], dict[str, set[str]]] = {}
-        # layer name -> (GridIndex over feature ids, [geometries]) | None.
+        # (fact, dimension, level) -> _RollupTranslation; lazy, stamped
+        # with the dimension's member generation and extended in place
+        # when the fact dictionary grows.
+        # guarded-by: _cache_lock
+        self._rollup_translations: dict[tuple[str, str, str], _RollupTranslation] = {}
+        # layer name -> (EnvelopeColumns over feature ids, [geometries]) | None.
         # guarded-by: _cache_lock
         self._layer_grid: dict[str, object] = {}
-        # (dimension, level) -> (GridIndex over member keys,
+        # (dimension, level) -> (EnvelopeColumns over member keys,
         #                        {member key -> geometry}) | None.
         # guarded-by: _cache_lock
         self._level_grid: dict[tuple[str, str], object] = {}
@@ -170,6 +232,8 @@ class StarSchema:
             )
             for key in [k for k in self._rollup_index if k[0] == dimension]:
                 del self._rollup_index[key]
+            for key in [k for k in self._rollup_translations if k[1] == dimension]:
+                del self._rollup_translations[key]
             for key in [k for k in self._level_grid if k[0] == dimension]:
                 del self._level_grid[key]
             # The roll-up member cache is generation-keyed, so stale
@@ -326,19 +390,48 @@ class StarSchema:
         measures: Mapping[str, float],
     ) -> int:
         """Insert a fact row, checking every key against the leaf members."""
+        return self.insert_facts(fact, [(coordinates, measures)])[0]
+
+    def insert_facts(
+        self,
+        fact: str,
+        rows: Iterable[tuple[Mapping[str, str], Mapping[str, float]]],
+    ) -> list[int]:
+        """Insert many ``(coordinates, measures)`` rows as one batch.
+
+        Referential checks run once per distinct leaf key, the table
+        append shares one lock acquisition (:meth:`FactTable.insert_many`),
+        and downstream caches see ONE :class:`StarMutation` carrying the
+        whole row-id delta — the shape the incremental view patcher and
+        the bulk loaders want.  Returns the new row ids in input order.
+        """
         table = self.fact_table(fact)
-        for dim_name, key in coordinates.items():
-            dim_table = self.dimension_table(dim_name)
-            leaf = dim_table.dimension.leaf
-            try:
-                dim_table.member(leaf, key)
-            except StorageError:
-                raise StorageError(
-                    f"fact {fact!r}: unknown {dim_name!r} leaf member {key!r}"
-                ) from None
-        row_id = table.insert(coordinates, measures)
-        self.note_fact_change(table.fact.name, (row_id,))
-        return row_id
+        rows = list(rows)
+        leaf_levels: dict[str, tuple[DimensionTable, str]] = {}
+        checked: dict[str, set[str]] = {}
+        for coordinates, _measures in rows:
+            for dim_name, key in coordinates.items():
+                cached = leaf_levels.get(dim_name)
+                if cached is None:
+                    dim_table = self.dimension_table(dim_name)
+                    cached = (dim_table, dim_table.dimension.leaf)
+                    leaf_levels[dim_name] = cached
+                    checked[dim_name] = set()
+                if key in checked[dim_name]:
+                    continue
+                dim_table, leaf = cached
+                try:
+                    dim_table.member(leaf, key)
+                except StorageError:
+                    raise StorageError(
+                        f"fact {fact!r}: unknown {dim_name!r} leaf member "
+                        f"{key!r}"
+                    ) from None
+                checked[dim_name].add(key)
+        row_ids = table.insert_many(rows)
+        if row_ids:
+            self.note_fact_change(table.fact.name, tuple(row_ids))
+        return row_ids
 
     def add_feature(
         self,
@@ -388,6 +481,41 @@ class StarSchema:
                     self._rollup_index[cache_key] = index
         return index
 
+    def rollup_translation(
+        self, fact: str, dimension: str, level: str
+    ) -> _RollupTranslation:
+        """Leaf-code → ancestor-ordinal table for one fact dimension.
+
+        The vectorized group-by's unit: ``table.codes`` maps every code
+        of the fact's ``dimension`` dictionary to an ordinal into
+        ``table.keys`` (distinct ancestor keys at ``level``).  Stamped
+        with the dimension's member generation like the roll-up caches;
+        a member mutation rebuilds it, a dictionary growth (fact
+        appends interning new leaf keys) extends it in place.
+        """
+        cache_key = (fact, dimension, level)
+        table = self.fact_table(fact)
+        dictionary = table.dictionary(dimension)
+        member_generation = self._member_generations.get(dimension, 0)
+        translation = self._rollup_translations.get(cache_key)  # lint-ok: lock-guard, check-then-act - GIL-atomic fast path; the store below rechecks under the lock
+        if (
+            translation is not None
+            and translation.member_generation == member_generation
+            and len(translation.codes) >= len(dictionary)
+        ):
+            return translation
+        with self._cache_lock:
+            member_generation = self._member_generations.get(dimension, 0)
+            translation = self._rollup_translations.get(cache_key)
+            if (
+                translation is None
+                or translation.member_generation != member_generation
+            ):
+                translation = _RollupTranslation(member_generation)
+                self._rollup_translations[cache_key] = translation
+            translation.extend(self, table, dimension, level)
+        return translation
+
     def leaf_keys_rolled_to(
         self, dimension: str, level: str, member_keys: Iterable[str]
     ) -> set[str]:
@@ -410,11 +538,14 @@ class StarSchema:
 
     def layer_grid_index(
         self, name: str
-    ) -> tuple[GridIndex, list[Geometry]] | None:
-        """Cached envelope grid over one layer's features, or ``None`` if empty.
+    ) -> tuple[EnvelopeColumns, list[Geometry]] | None:
+        """Cached envelope columns over one layer's features (``None`` if empty).
 
         Returns ``(index, geometries)`` where the index items are positions
-        into ``geometries``.  Invalidated by :meth:`note_feature_change`.
+        into ``geometries``.  The index is an
+        :class:`~repro.geometry.index.EnvelopeColumns` — four parallel
+        coordinate arrays whose envelope query is a vectorized range
+        test.  Invalidated by :meth:`note_feature_change`.
         """
         cached = self._layer_grid.get(name, _UNBUILT)
         if cached is _UNBUILT:
@@ -424,7 +555,7 @@ class StarSchema:
                 if cached is _UNBUILT:
                     geometries = [f.geometry for f in table.features()]
                     if geometries:
-                        index = GridIndex(
+                        index = EnvelopeColumns(
                             [(g, i) for i, g in enumerate(geometries)]
                         )
                         cached = (index, geometries)
@@ -435,8 +566,8 @@ class StarSchema:
 
     def level_grid_index(
         self, dimension: str, level: str
-    ) -> tuple[GridIndex, dict[str, Geometry]] | None:
-        """Cached envelope grid over a level's geometry-bearing members.
+    ) -> tuple[EnvelopeColumns, dict[str, Geometry]] | None:
+        """Cached envelope columns over a level's geometry-bearing members.
 
         Returns ``(index, {member key -> geometry})`` (index items are the
         member keys), or ``None`` when no member of the level carries a
@@ -456,7 +587,7 @@ class StarSchema:
                             entries.append((geometry, member.key))
                     if entries:
                         cached = (
-                            GridIndex(entries),
+                            EnvelopeColumns(entries),
                             {key: geometry for geometry, key in entries},
                         )
                     else:

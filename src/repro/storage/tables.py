@@ -10,13 +10,17 @@ features that ``AddLayer`` exposes to the rules.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from array import array
+from itertools import compress, islice
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.concurrency import make_lock
 from repro.errors import StorageError
 from repro.geomd.schema import GEOMETRY_ATTRIBUTE, Layer
 from repro.geometry import Geometry
 from repro.mdm.model import Dimension, Fact
+from repro.storage.columns import Dictionary
+from repro.vectorized import numpy_backend
 
 __all__ = ["Member", "DimensionTable", "FactTable", "Feature", "LayerTable"]
 
@@ -184,12 +188,28 @@ class DimensionTable:
 
 
 class FactTable:
-    """Columnar fact storage: one key column per dimension, one per measure."""
+    """Dictionary-encoded columnar fact storage (struct-of-arrays).
+
+    Each dimension's key column is an ``array('i')`` of codes into an
+    interned :class:`~repro.storage.columns.Dictionary`; each measure is
+    an ``array('d')``.  Scans, filters and group-bys run over the dense
+    arrays (:meth:`rows_matching`, :meth:`key_codes`,
+    :meth:`measure_values`); the row-dict API (:meth:`row`,
+    :meth:`coordinates`, :meth:`key_column`) decodes on demand as a
+    compatibility view.
+    """
 
     def __init__(self, fact: Fact) -> None:
         self.fact = fact
-        self._keys: dict[str, list[str]] = {d: [] for d in fact.dimension_names}
-        self._measures: dict[str, list[float]] = {m: [] for m in fact.measures}
+        #: dimension -> interned key dictionary; encode() only under _lock.
+        self._dictionaries: dict[str, Dictionary] = {
+            d: Dictionary() for d in fact.dimension_names
+        }
+        #: dimension -> append-only code column (codes index _dictionaries).
+        self._codes: dict[str, array] = {
+            d: array("i") for d in fact.dimension_names
+        }
+        self._measures: dict[str, array] = {m: array("d") for m in fact.measures}
         self._count = 0
         #: dimension -> {leaf key -> ascending row ids}; built lazily by
         #: :meth:`key_postings` and maintained incrementally on insert, so
@@ -207,71 +227,184 @@ class FactTable:
         measures: Mapping[str, float],
     ) -> int:
         """Append one fact row; returns its row id."""
-        if set(coordinates) != set(self.fact.dimension_names):
-            raise StorageError(
-                f"fact {self.fact.name!r} expects coordinates for "
-                f"{sorted(self.fact.dimension_names)}, got {sorted(coordinates)}"
-            )
-        if set(measures) != set(self.fact.measures):
-            raise StorageError(
-                f"fact {self.fact.name!r} expects measures "
-                f"{sorted(self.fact.measures)}, got {sorted(measures)}"
-            )
-        for measure_name, value in measures.items():
-            if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return self.insert_many([(coordinates, measures)])[0]
+
+    def insert_many(
+        self,
+        rows: Iterable[tuple[Mapping[str, str], Mapping[str, float]]],
+    ) -> list[int]:
+        """Append many ``(coordinates, measures)`` rows in one batch.
+
+        All rows are validated before any is appended (all-or-nothing),
+        and the whole batch shares one lock acquisition, one dictionary
+        encode pass and one round of posting maintenance — the
+        amortization that makes bulk loads and delta batches cheap.
+        Returns the new row ids in input order.
+        """
+        dimension_names = set(self.fact.dimension_names)
+        measure_names = set(self.fact.measures)
+        prepared: list[tuple[Mapping[str, str], Mapping[str, float]]] = []
+        for coordinates, measures in rows:
+            if set(coordinates) != dimension_names:
                 raise StorageError(
-                    f"measure {measure_name!r} expects a number, got "
-                    f"{type(value).__name__}"
+                    f"fact {self.fact.name!r} expects coordinates for "
+                    f"{sorted(self.fact.dimension_names)}, got "
+                    f"{sorted(coordinates)}"
                 )
-        with self._lock:
-            for dim_name in self.fact.dimension_names:
-                self._keys[dim_name].append(coordinates[dim_name])
+            if set(measures) != measure_names:
+                raise StorageError(
+                    f"fact {self.fact.name!r} expects measures "
+                    f"{sorted(self.fact.measures)}, got {sorted(measures)}"
+                )
             for measure_name, value in measures.items():
-                self._measures[measure_name].append(float(value))
-            row_id = self._count
-            self._count += 1
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise StorageError(
+                        f"measure {measure_name!r} expects a number, got "
+                        f"{type(value).__name__}"
+                    )
+            prepared.append((coordinates, measures))
+        if not prepared:
+            return []
+        with self._lock:
+            first_row = self._count
+            for dim_name in self.fact.dimension_names:
+                encode = self._dictionaries[dim_name].encode
+                self._codes[dim_name].extend(
+                    encode(coordinates[dim_name]) for coordinates, _ in prepared
+                )
+            for measure_name, column in self._measures.items():
+                column.extend(
+                    float(measures[measure_name]) for _, measures in prepared
+                )
+            self._count += len(prepared)
             for dim_name, postings in self._postings.items():
-                postings.setdefault(coordinates[dim_name], []).append(row_id)
-        return row_id
+                for offset, (coordinates, _) in enumerate(prepared):
+                    postings.setdefault(coordinates[dim_name], []).append(
+                        first_row + offset
+                    )
+        return list(range(first_row, first_row + len(prepared)))
 
     def __len__(self) -> int:
         return self._count
 
-    def key_column(self, dimension: str) -> list[str]:
+    def dictionary(self, dimension: str) -> Dictionary:
+        """The interned key dictionary of one dimension column."""
         try:
-            return self._keys[dimension]
+            return self._dictionaries[dimension]
         except KeyError:
             raise StorageError(
                 f"fact {self.fact.name!r} has no dimension {dimension!r}"
             ) from None
 
-    def key_postings(self, dimension: str) -> dict[str, list[int]]:
-        """Inverted key column: ``leaf key -> ascending row ids``.
+    def key_codes(self, dimension: str) -> array:
+        """The live ``array('i')`` code column of one dimension.
 
-        Turns per-dimension fact filtering into posting-list unions and
-        intersections instead of full-column scans.  Built on first use;
-        :meth:`insert` appends to a built map, so callers may hold on to
-        the returned mapping only within one request.
+        Append-only: snapshot ``len(table)`` first and slice/``islice``
+        to that length for a consistent view under concurrent inserts.
         """
-        postings = self._postings.get(dimension)
-        if postings is None:
-            column = self.key_column(dimension)  # existence check
-            with self._lock:
-                postings = self._postings.get(dimension)
-                if postings is None:
-                    postings = {}
-                    for row_id, key in enumerate(column):
-                        postings.setdefault(key, []).append(row_id)
-                    self._postings[dimension] = postings
-        return postings
+        try:
+            return self._codes[dimension]
+        except KeyError:
+            raise StorageError(
+                f"fact {self.fact.name!r} has no dimension {dimension!r}"
+            ) from None
 
-    def measure_column(self, measure: str) -> list[float]:
+    def measure_values(self, measure: str) -> array:
+        """The live ``array('d')`` column of one measure (append-only)."""
         try:
             return self._measures[measure]
         except KeyError:
             raise StorageError(
                 f"fact {self.fact.name!r} has no measure {measure!r}"
             ) from None
+
+    def key_column(self, dimension: str) -> list[str]:
+        """Compatibility view: the decoded key column as a fresh list."""
+        dictionary = self.dictionary(dimension)
+        n = self._count
+        return dictionary.decode_many(islice(self._codes[dimension], n))
+
+    def key_postings(self, dimension: str) -> dict[str, list[int]]:
+        """Inverted key column: ``leaf key -> ascending row ids``.
+
+        Turns per-dimension fact filtering into posting-list unions and
+        intersections instead of full-column scans.  Built on first use;
+        :meth:`insert_many` appends to a built map, so callers may hold
+        on to the returned mapping only within one request.
+        """
+        postings = self._postings.get(dimension)
+        if postings is None:
+            dictionary = self.dictionary(dimension)  # existence check
+            with self._lock:
+                postings = self._postings.get(dimension)
+                if postings is None:
+                    postings = {}
+                    decode = dictionary.decode
+                    for row_id, code in enumerate(self._codes[dimension]):
+                        postings.setdefault(decode(code), []).append(row_id)
+                    self._postings[dimension] = postings
+        return postings
+
+    def measure_column(self, measure: str) -> list[float]:
+        """Compatibility view: the measure column as a fresh list."""
+        values = self.measure_values(measure)
+        return list(islice(values, self._count))
+
+    def rows_matching(
+        self,
+        relevant: Mapping[str, Iterable[str]],
+        row_ids: Sequence[int] | None = None,
+    ) -> list[int]:
+        """Row ids whose leaf key is allowed in *every* given dimension.
+
+        ``relevant`` maps dimension -> allowed leaf keys (dimensions not
+        present are unconstrained).  The full-table path evaluates each
+        dimension as a byte mask over the code column and intersects the
+        masks as big-int AND; with the numpy backend enabled the masks
+        become fancy-indexed ``uint8`` gathers.  When ``row_ids`` is
+        given, only those rows are tested (in input order) — the shape
+        the incremental view patcher needs for small deltas.
+        """
+        n = self._count
+        lookups: list[tuple[array, bytearray]] = []
+        for dim_name, keys in relevant.items():
+            dictionary = self.dictionary(dim_name)
+            mask = dictionary.lookup_mask(keys)
+            if 1 not in mask:
+                return []  # no allowed key was ever interned: nothing matches
+            lookups.append((self._codes[dim_name], mask))
+        if row_ids is not None:
+            if not lookups:
+                return [row_id for row_id in row_ids if 0 <= row_id < n]
+            return [
+                row_id
+                for row_id in row_ids
+                if 0 <= row_id < n
+                and all(mask[column[row_id]] for column, mask in lookups)
+            ]
+        if not lookups:
+            return list(range(n))
+        if n == 0:
+            return []
+        np = numpy_backend()
+        if np is not None:
+            hits = None
+            for column, mask in lookups:
+                # tobytes() snapshots atomically under the GIL; a zero-copy
+                # frombuffer over the live column would export its buffer
+                # and make a concurrent insert's resize raise BufferError.
+                codes = np.frombuffer(column.tobytes(), dtype=np.intc, count=n)
+                allowed = np.frombuffer(bytes(mask), dtype=np.uint8)
+                hit = allowed[codes]
+                hits = hit if hits is None else hits & hit
+            return np.flatnonzero(hits).tolist()
+        matched: int | None = None
+        for column, mask in lookups:
+            column_mask = bytes(map(mask.__getitem__, islice(column, n)))
+            value = int.from_bytes(column_mask, "little")
+            matched = value if matched is None else matched & value
+        assert matched is not None
+        return list(compress(range(n), matched.to_bytes(n, "little")))
 
     def coordinates(self, row_id: int) -> dict[str, str]:
         """One row's ``dimension -> leaf key`` mapping (no measures).
@@ -284,7 +417,10 @@ class FactTable:
             raise StorageError(
                 f"row id {row_id} out of range (0..{self._count - 1})"
             )
-        return {dim: self._keys[dim][row_id] for dim in self._keys}
+        return {
+            dim: self._dictionaries[dim].decode(column[row_id])
+            for dim, column in self._codes.items()
+        }
 
     def row(self, row_id: int) -> dict[str, object]:
         if not 0 <= row_id < self._count:
@@ -292,7 +428,8 @@ class FactTable:
                 f"row id {row_id} out of range (0..{self._count - 1})"
             )
         out: dict[str, object] = {
-            dim: self._keys[dim][row_id] for dim in self._keys
+            dim: self._dictionaries[dim].decode(column[row_id])
+            for dim, column in self._codes.items()
         }
         out.update(
             {measure: column[row_id] for measure, column in self._measures.items()}

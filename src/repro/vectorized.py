@@ -1,0 +1,52 @@
+"""The optional numpy backend switch for the columnar engine.
+
+The dictionary-encoded storage and the batch executor are stdlib-only by
+default (``array``/``bytes`` masks and C-speed ``map``/``zip`` loops).
+When numpy is installed *and* the backend is switched on — either via
+the environment (``REPRO_NUMPY=1``) or an explicit per-star override
+(:attr:`repro.storage.star.StarSchema.use_numpy`) — the hot kernels
+(code translation, mask evaluation, group accumulation, the envelope
+range test) run as numpy array operations instead.
+
+This module is deliberately dependency-free so both the geometry layer
+and the storage layer can consult it without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ENV_SWITCH", "numpy_backend"]
+
+ENV_SWITCH = "REPRO_NUMPY"
+
+#: ``None`` until the first import attempt; then the module or ``False``.
+_NUMPY: object = None
+
+
+def _import_numpy():
+    global _NUMPY
+    if _NUMPY is None:
+        try:
+            import numpy  # noqa: PLC0415 - deliberate lazy optional import
+
+            _NUMPY = numpy
+        except ImportError:  # pragma: no cover - numpy-less environments
+            _NUMPY = False
+    return _NUMPY or None
+
+
+def numpy_backend(override: bool | None = None):
+    """The numpy module when the backend is enabled, else ``None``.
+
+    ``override`` is the per-star engine flag: ``True``/``False`` force
+    the decision; ``None`` defers to the ``REPRO_NUMPY=1`` environment
+    switch.  The environment is re-read on every call (it is one dict
+    lookup) so tests and benchmark harnesses can flip the backend at
+    runtime; the numpy import itself is attempted once and cached.
+    """
+    if override is False:
+        return None
+    if override is None and os.environ.get(ENV_SWITCH) != "1":
+        return None
+    return _import_numpy()

@@ -68,6 +68,41 @@ class TestGenKey:
         (violation,) = _by_rule(violations, "gen-key")
         assert violation.line == 8
 
+    def test_generationless_translation_store_is_flagged(self, lint):
+        # Translation-table caches (the star's roll-up translations)
+        # are cache-shaped attrs: a store without a generation in the
+        # key or value must be flagged like any memo dict.
+        violations = lint(
+            """
+            class Star:
+                def __init__(self):
+                    self._rollup_translations = {}
+
+                def translation(self, fact, dimension, level):
+                    table = object()
+                    self._rollup_translations[(fact, dimension, level)] = table
+                    return table
+            """
+        )
+        (violation,) = _by_rule(violations, "gen-key")
+        assert "_rollup_translations" in violation.message
+
+    def test_generation_stamped_translation_value_passes(self, lint):
+        violations = lint(
+            """
+            class Star:
+                def __init__(self):
+                    self._rollup_translations = {}
+
+                def translation(self, fact, dimension, level):
+                    member_generation = self._member_generations.get(dimension, 0)
+                    table = _RollupTranslation(member_generation)
+                    self._rollup_translations[(fact, dimension, level)] = table
+                    return table
+            """
+        )
+        assert _by_rule(violations, "gen-key") == []
+
 
 class TestLockGuard:
     SOURCE = """

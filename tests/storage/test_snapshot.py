@@ -92,11 +92,53 @@ class TestRoundTrip:
         assert a.read_text() == b.read_text()
 
 
+class TestEncodedColumns:
+    def test_snapshot_is_dictionary_encoded(self, star):
+        data = star_to_dict(star)
+        fact_data = data["facts"]["Sales"]
+        assert "keys" not in fact_data
+        codes = fact_data["codes"]["Store"]
+        interned = fact_data["dictionaries"]["Store"]
+        assert all(isinstance(code, int) for code in codes)
+        decoded = [interned[code] for code in codes]
+        assert decoded == star.fact_table().key_column("Store")
+
+    def test_codes_round_trip_bit_identically(self, star):
+        rebuilt = star_from_dict(star_to_dict(star))
+        table, original = rebuilt.fact_table(), star.fact_table()
+        for dim in table.fact.dimension_names:
+            assert list(table.key_codes(dim)) == list(original.key_codes(dim))
+            assert table.dictionary(dim).keys() == original.dictionary(dim).keys()
+        assert star_to_dict(rebuilt) == star_to_dict(star)
+
+    def test_legacy_keys_format_still_loads(self, star):
+        data = star_to_dict(star)
+        fact_data = data["facts"]["Sales"]
+        interned = fact_data.pop("dictionaries")
+        codes = fact_data.pop("codes")
+        fact_data["keys"] = {
+            dim: [interned[dim][code] for code in column]
+            for dim, column in codes.items()
+        }
+        rebuilt = star_from_dict(data)
+        assert rebuilt.stats() == star.stats()
+        assert rebuilt.fact_table().key_column("Store") == star.fact_table(
+            "Sales"
+        ).key_column("Store")
+
+
 class TestCorruption:
     def test_ragged_fact_columns_rejected(self, star):
         data = star_to_dict(star)
         data["facts"]["Sales"]["measures"]["UnitSales"].pop()
         with pytest.raises(StorageError, match="ragged"):
+            star_from_dict(data)
+
+    def test_code_beyond_dictionary_rejected(self, star):
+        data = star_to_dict(star)
+        fact_data = data["facts"]["Sales"]
+        fact_data["codes"]["Store"][0] = len(fact_data["dictionaries"]["Store"])
+        with pytest.raises(StorageError, match="beyond its dictionary"):
             star_from_dict(data)
 
     def test_dangling_parent_rejected(self, star):
