@@ -37,6 +37,17 @@ The EXT6 mix exercises the PR 7 dictionary-encoded columnar engine:
   on both before timing (the identical-response gate applied to the
   storage engine itself).
 
+The EXT7 mix exercises the PR 8 stateless serving tier:
+
+* ``ext7_worker_scaling`` — a 4-tenant portal with 36 concurrent
+  sessions against a per-worker live-session cap of 24, timed through a
+  real pre-fork worker pool over a shared sqlite state backend at 1 and
+  2 workers.  One worker LRU-thrashes (every request rehydrates a
+  spilled session through the engine); two tenant-sharded workers keep
+  every session live.  Before timing, the same logins and request sweep
+  are replayed against a single-process in-memory portal and both pool
+  topologies, and every response body must be identical.
+
 ``--scale`` picks the world size tier; the tier and the resulting fact
 row count are recorded in the JSON artefact so BENCH_*.json entries
 carry their scale and EXT6's cardinality multiplier is reproducible.
@@ -413,8 +424,277 @@ def bench_ext6(scale: str, multiplier: int) -> dict:
     }
 
 
+# -- EXT7: multi-process worker scaling --------------------------------------------
+#
+# One process is the portal's session-capacity ceiling: the serving tier
+# caps *live* sessions per process (spilled sessions are ended and must
+# rehydrate through the engine on their next request — a login-grade
+# cost).  EXT7 builds a 4-tenant portal with 36 concurrent sessions and
+# a per-worker live cap of 24: a single worker LRU-thrashes (every
+# request lands on a spilled session), while two tenant-sharded workers
+# hold 18 live sessions each and stay warm.  Aggregate req/s over the
+# EXT3-style steady-state mix (4 views : 1 query per session) is the
+# measurement; the ISSUE 8 gate is >= 1.7x at 2 workers vs 1.
+#
+# Transparency gate before timing: the same logins and the same request
+# sweep are replayed against a single-process in-memory portal and both
+# pool topologies — every response body (tokens stripped from login
+# bodies) must be identical, including the 1-worker mode where every
+# gated request crosses a spill/rehydrate cycle.
+
+EXT7_TENANTS = ("dm-0", "dm-1", "dm-2", "dm-3")  # ring-balanced 2/2
+EXT7_SESSIONS_PER_TENANT = 9
+EXT7_LIVE_CAP = 24
+EXT7_CLIENT_THREADS = 4
+
+
+def _ext7_build_app(scale: str, backend=None):
+    """The EXT7 multi-tenant portal: 4 identical tenants over one world.
+
+    With ``backend``, the worker-pool wiring — every store backend-backed
+    under fixed namespaces, live sessions capped per process.  Without,
+    the single-process in-memory reference; its stores are passed
+    explicitly in-heap so the comparison never depends on REPRO_BACKEND
+    in the surrounding environment.
+    """
+    from repro.lru import ThreadSafeLRU
+    from repro.personalization import ViewStore
+    from repro.reco.journal import WorkloadJournal
+    from repro.service import (
+        DatamartRegistry,
+        InMemorySessionStore,
+        PersonalizationService,
+    )
+
+    world = generate_world(SCALES[scale])
+    registry = DatamartRegistry()
+    for index, name in enumerate(EXT7_TENANTS):
+        if backend is not None:
+            from repro.cluster.stores import BackendViewStore
+
+            view_store = BackendViewStore(
+                backend, namespace=f"ext7-views-{name}"
+            )
+        else:
+            view_store = ViewStore(128)
+        engine = PersonalizationEngine(
+            build_sales_star(world),
+            build_motivating_user_model(),
+            geo_source=WorldGeoSource(world),
+            parameters={"threshold": THRESHOLD},
+            view_store=view_store,
+        )
+        engine.add_rules(ALL_PAPER_RULES.values())
+        tenant = registry.register(
+            name, engine, description="EXT7 tenant", default=index == 0
+        )
+        tenant.register_user(
+            build_regional_manager_profile(build_motivating_user_model())
+        )
+    if backend is not None:
+        from repro.cluster.stores import (
+            BackendQueryCache,
+            BackendSessionStore,
+            BackendWorkloadJournal,
+        )
+
+        sessions = BackendSessionStore(
+            backend,
+            namespace="ext7-sessions",
+            ttl=3600.0,
+            max_live=EXT7_LIVE_CAP,
+        )
+        service = PersonalizationService(
+            registry,
+            session_store=sessions,
+            query_cache=BackendQueryCache(backend, namespace="ext7-qcache"),
+            journal=BackendWorkloadJournal(backend, namespace="ext7-journal"),
+        )
+        sessions.resolver = service._rehydrate_session
+    else:
+        service = PersonalizationService(
+            registry,
+            session_store=InMemorySessionStore(ttl=3600.0, max_sessions=64),
+            query_cache=ThreadSafeLRU(256),
+            journal=WorkloadJournal(),
+        )
+    return PortalApp(service=service)
+
+
+def _ext7_login_all(send):
+    """Open every EXT7 session; returns ``[(token, datamart)]`` plus the
+    token-stripped login bodies (the transparency gate compares those)."""
+    tokens = []
+    bodies = []
+    for name in EXT7_TENANTS:
+        for _ in range(EXT7_SESSIONS_PER_TENANT):
+            body = send(
+                "POST",
+                "/api/v1/login",
+                {"user": "ana-garcia", "datamart": name},
+                datamart=name,
+            )
+            tokens.append((body["token"], name))
+            bodies.append({k: v for k, v in body.items() if k != "token"})
+    return tokens, bodies
+
+
+def _ext7_request(send, tokens, round_no, index):
+    """One deterministic steady-state request (4 views : 1 query)."""
+    token, _name = tokens[index]
+    if (round_no + index) % 5 == 4:
+        return send(
+            "POST", "/api/v1/query", {"q": QUERY, "limit": 10}, token=token
+        )
+    return send("GET", "/api/v1/view", token=token)
+
+
+def _ext7_sweep(send, tokens, rounds):
+    """Serially replay the mix, collecting bodies for the gate."""
+    return [
+        _ext7_request(send, tokens, round_no, index)
+        for round_no in range(rounds)
+        for index in range(len(tokens))
+    ]
+
+
+def _ext7_timed(send, tokens, rounds):
+    """Aggregate req/s over the mix, driven by concurrent client threads
+    (each owns a disjoint session slice, so per-token requests stay
+    serialized client-side like real users)."""
+    import threading
+
+    errors = []
+
+    def drive(offset):
+        try:
+            for round_no in range(rounds):
+                for index in range(offset, len(tokens), EXT7_CLIENT_THREADS):
+                    _ext7_request(send, tokens, round_no, index)
+        except Exception as exc:  # noqa: BLE001 - re-raised via errors
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=drive, args=(offset,))
+        for offset in range(EXT7_CLIENT_THREADS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return rounds * len(tokens) / elapsed
+
+
+def _ext7_pool_mode(scale: str, workers: int, rounds: int, gate_rounds: int):
+    """Drive one pool topology; returns req/s, gate bodies and stats."""
+    import http.client
+    import shutil
+    import tempfile
+
+    from repro.cluster.backend import SqliteBackend
+    from repro.cluster.pool import ClusterClient, WorkerPool
+
+    state_dir = tempfile.mkdtemp(prefix="repro-ext7-")
+    backend = SqliteBackend(os.path.join(state_dir, "state.sqlite"))
+    pool = WorkerPool(
+        lambda worker_id: _ext7_build_app(scale, backend=backend),
+        workers=workers,
+    )
+    try:
+        pool.wait_ready(timeout=180.0)
+        client = ClusterClient(pool)
+
+        def send(method, path, body=None, token=None, datamart=None):
+            status, data = client.request(
+                method, path, body=body, token=token, datamart=datamart
+            )
+            assert status == 200, data
+            return data
+
+        tokens, login_bodies = _ext7_login_all(send)
+        gate_bodies = _ext7_sweep(send, tokens, gate_rounds)
+        req_per_s = _ext7_timed(send, tokens, rounds)
+        spills = rehydrations = 0
+        for host, port in pool.shard_addresses:
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            conn.request("GET", "/api/v1/health")
+            health = json.loads(conn.getresponse().read())
+            conn.close()
+            store = health["state_backend"]["sessions"]
+            spills += store["spills"]
+            rehydrations += store["rehydrations"]
+        client.close()
+        return {
+            "req_per_s": req_per_s,
+            "login_bodies": login_bodies,
+            "gate_bodies": gate_bodies,
+            "spills": spills,
+            "rehydrations": rehydrations,
+        }
+    finally:
+        pool.stop()
+        backend.close()
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def bench_ext7(scale: str, rounds: int) -> dict:
+    """Worker-pool scaling on the steady-state mix (ISSUE 8 tentpole)."""
+    gate_rounds = 2
+    app = _ext7_build_app(scale)
+
+    def send_in_process(method, path, body=None, token=None, datamart=None):
+        response = app.handle(method, path, body, token=token)
+        assert response.ok, response.body
+        return response.json()
+
+    reference_tokens, reference_logins = _ext7_login_all(send_in_process)
+    reference_bodies = _ext7_sweep(send_in_process, reference_tokens, gate_rounds)
+    reference_req_per_s = _ext7_timed(send_in_process, reference_tokens, rounds)
+
+    modes = {}
+    for workers in (1, 2):
+        mode = _ext7_pool_mode(scale, workers, rounds, gate_rounds)
+        # Identical-response gate: the pooled portal (including the
+        # 1-worker topology, where every gated request crosses a
+        # spill/rehydrate cycle) must be indistinguishable from the
+        # single-process in-memory portal.
+        assert mode["login_bodies"] == reference_logins, (
+            f"ext7: {workers}-worker login responses differ from "
+            f"single-process in-memory"
+        )
+        assert mode["gate_bodies"] == reference_bodies, (
+            f"ext7: {workers}-worker responses differ from "
+            f"single-process in-memory"
+        )
+        modes[workers] = mode
+
+    total_sessions = len(EXT7_TENANTS) * EXT7_SESSIONS_PER_TENANT
+    return {
+        "tenants": len(EXT7_TENANTS),
+        "sessions": total_sessions,
+        "per_worker_live_cap": EXT7_LIVE_CAP,
+        "rounds": rounds,
+        "single_process_memory_req_per_s": round(reference_req_per_s, 1),
+        "workers_1_req_per_s": round(modes[1]["req_per_s"], 1),
+        "workers_2_req_per_s": round(modes[2]["req_per_s"], 1),
+        "workers_1_rehydrations": modes[1]["rehydrations"],
+        "workers_2_rehydrations": modes[2]["rehydrations"],
+        "speedup_2w_vs_1w": round(
+            modes[2]["req_per_s"] / modes[1]["req_per_s"], 2
+        ),
+    }
+
+
 def run(
-    scale: str, rounds: int, out_path: str | None, ext6_multiplier: int = 100
+    scale: str,
+    rounds: int,
+    out_path: str | None,
+    ext6_multiplier: int = 100,
+    ext7_rounds: int = 40,
 ) -> dict:
     world, star, engine, profile, app, demo_tokens = build_portal(scale)
     token = login(app, profile, world)
@@ -442,7 +722,7 @@ def run(
         assert uncached == cached, f"{name}: cached response differs"
 
     results: dict = {
-        "series": "EXT3+EXT4+EXT5+EXT6",
+        "series": "EXT3+EXT4+EXT5+EXT6+EXT7",
         "scale": scale,
         "fact_rows": len(star.fact_table()),
         "rounds": per_mix_rounds,
@@ -511,6 +791,20 @@ def run(
         f"vectorized {ext6['vectorized_s']}s ({ext6['speedup']:.1f}x)"
     )
 
+    results["mixes"]["ext7_worker_scaling"] = ext7 = bench_ext7(
+        scale, ext7_rounds
+    )
+    results["rounds"]["ext7_worker_scaling"] = ext7.pop("rounds")
+    print(
+        f"[ext7_worker_scaling] {ext7['sessions']} sessions over live cap "
+        f"{ext7['per_worker_live_cap']}: 1 worker "
+        f"{ext7['workers_1_req_per_s']:,.0f} -> 2 workers "
+        f"{ext7['workers_2_req_per_s']:,.0f} req/s "
+        f"({ext7['speedup_2w_vs_1w']:.1f}x, rehydrations "
+        f"{ext7['workers_1_rehydrations']} -> "
+        f"{ext7['workers_2_rehydrations']})"
+    )
+
     if out_path:
         Path(out_path).write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {out_path}")
@@ -530,7 +824,14 @@ def main() -> int:
     # Smoke runs keep EXT6 at small cardinality so CI can afford it; the
     # 100x claim is only asserted on full runs.
     multiplier = 10 if args.smoke else 100
-    results = run(args.scale, rounds, args.out, ext6_multiplier=multiplier)
+    ext7_rounds = 6 if args.smoke else max(args.rounds // 50, 20)
+    results = run(
+        args.scale,
+        rounds,
+        args.out,
+        ext6_multiplier=multiplier,
+        ext7_rounds=ext7_rounds,
+    )
     # The PR 2 acceptance bar: repeated views must be >= 5x faster.
     ext3a = results["mixes"]["ext3a_repeated_view"]
     if ext3a["speedup"] < 5.0:
@@ -567,6 +868,18 @@ def main() -> int:
     ext6 = results["mixes"]["ext6_columnar_scan"]
     if ext6["fact_multiplier"] >= 100 and ext6["speedup"] < 5.0:
         print(f"FAIL: EXT6 speedup {ext6['speedup']}x < 5x", file=sys.stderr)
+        return 1
+    # The PR 8 bar: once live sessions exceed the per-worker cap, two
+    # shard-routed workers must deliver >= 1.7x the aggregate
+    # steady-state req/s of one (the identical-response gate inside
+    # bench_ext7 always runs; the timing gate is skipped in smoke mode,
+    # where the round count is too small to be meaningful).
+    ext7 = results["mixes"]["ext7_worker_scaling"]
+    if not args.smoke and ext7["speedup_2w_vs_1w"] < 1.7:
+        print(
+            f"FAIL: EXT7 speedup {ext7['speedup_2w_vs_1w']}x < 1.7x",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -45,7 +45,7 @@ from repro.viz import render_session_map
 __all__ = ["main", "build_parser"]
 
 
-def _build_engine(seed: int, threshold: int):
+def _build_engine(seed: int, threshold: int, view_store=None):
     world = generate_world(WorldConfig(seed=seed))
     star = build_sales_star(world)
     engine = PersonalizationEngine(
@@ -53,6 +53,7 @@ def _build_engine(seed: int, threshold: int):
         build_motivating_user_model(),
         geo_source=WorldGeoSource(world),
         parameters={"threshold": threshold},
+        view_store=view_store,
     )
     engine.add_rules(ALL_PAPER_RULES.values())
     return world, star, engine
@@ -154,44 +155,130 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
-def cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - network
-    from repro.service import (
-        DatamartRegistry,
-        InMemorySessionStore,
-        PersonalizationService,
+def _build_portal_app(args, backend=None):  # pragma: no cover - network
+    """Build the two-tenant demo portal, wired to the selected backend.
+
+    With an explicit ``backend`` (the worker pool passes the parent's
+    shared one) every store gets a *fixed* namespace so all workers see
+    the same sessions, query cache, view builds and journal; otherwise
+    the env-selected defaults apply (fresh namespaces, or plain in-heap
+    stores in the default mode).
+    """
+    from repro.cluster.config import (
+        make_journal,
+        make_query_cache,
+        make_session_store,
+        make_view_store,
     )
+    from repro.service import DatamartRegistry, PersonalizationService
     from repro.web import PortalApp
-    from repro.web.server import serve
 
     registry = DatamartRegistry()
-    _world, _star, engine = _build_engine(args.seed, args.threshold)
-    primary = registry.register(
-        args.datamart,
-        engine,
-        description=f"sales star (seed {args.seed})",
-        default=True,
-    )
-    primary.register_user(build_regional_manager_profile())
     # A second tenant on a differently seeded world demonstrates the
     # multi-datamart routing of POST /api/v1/login {"datamart": ...}.
-    _world2, _star2, engine2 = _build_engine(args.seed + 1, args.threshold)
-    alt = registry.register(
-        f"{args.datamart}-alt",
-        engine2,
-        description=f"sales star (seed {args.seed + 1})",
-    )
-    alt.register_user(build_regional_manager_profile())
+    tenants = [
+        (args.datamart, args.seed, True),
+        (f"{args.datamart}-alt", args.seed + 1, False),
+    ]
+    for name, seed, default in tenants:
+        view_store = (
+            make_view_store(128, namespace=f"pool-views-{name}", backend=backend)
+            if backend is not None
+            else None
+        )
+        _world, _star, engine = _build_engine(
+            seed, args.threshold, view_store=view_store
+        )
+        tenant = registry.register(
+            name, engine, description=f"sales star (seed {seed})", default=default
+        )
+        tenant.register_user(build_regional_manager_profile())
+    if backend is not None:
+        store = make_session_store(
+            ttl=args.session_ttl, namespace="pool-sessions", backend=backend
+        )
+        query_cache = make_query_cache(
+            256, namespace="pool-qcache", backend=backend
+        )
+        journal = make_journal(namespace="pool-journal", backend=backend)
+    else:
+        store = make_session_store(ttl=args.session_ttl)
+        query_cache = None
+        journal = None
     service = PersonalizationService(
-        registry, session_store=InMemorySessionStore(ttl=args.session_ttl)
+        registry,
+        session_store=store,
+        query_cache=query_cache,
+        journal=journal,
     )
-    app = PortalApp(service=service)
-    print(
-        f"serving /api/v1 on http://{args.host}:{args.port} "
-        f"(datamarts: {', '.join(registry.names())}; "
-        f"session TTL {args.session_ttl:g}s; Ctrl-C stops)"
+    # Late-bind the rehydration resolver (the store is built before the
+    # service that owns the engines exists).
+    if getattr(store, "resolver", "absent") is None:
+        store.resolver = service._rehydrate_session
+    return PortalApp(service=service)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - network
+    import os
+    import time
+
+    from repro.web.server import serve
+
+    if args.backend:
+        os.environ["REPRO_BACKEND"] = args.backend
+    if args.state:
+        os.environ["REPRO_STATE"] = args.state
+    from repro.cluster.config import backend_kind, shared_backend
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 1
+    if args.workers == 1:
+        app = _build_portal_app(args)
+        print(
+            f"serving /api/v1 on http://{args.host}:{args.port} "
+            f"(backend {backend_kind()}; session TTL {args.session_ttl:g}s; "
+            "Ctrl-C stops)"
+        )
+        serve(app, args.host, args.port)
+        return 0
+
+    # Multi-process serving: workers must share state through a
+    # persistent backend (forked heaps are invisible to each other).
+    if backend_kind() != "sqlite":
+        print(
+            "--workers > 1 requires the persistent backend "
+            "(pass --backend sqlite, or set REPRO_BACKEND=sqlite)",
+            file=sys.stderr,
+        )
+        return 1
+    from repro.cluster.pool import WorkerPool
+
+    # Resolve the shared backend in the parent, pre-fork: the workers
+    # inherit the object (and its resolved file path) across the fork.
+    backend = shared_backend()
+    pool = WorkerPool(
+        lambda worker_id: _build_portal_app(args, backend=backend),
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
     )
-    serve(app, args.host, args.port)
-    return 0
+    try:
+        pool.wait_ready()
+        shards = ", ".join(str(port) for _host, port in pool.shard_addresses)
+        print(
+            f"serving /api/v1 on http://{pool.address[0]}:{pool.address[1]} "
+            f"({args.workers} workers, shard ports {shards}; state "
+            f"{backend.stats().get('path', '?')}; Ctrl-C stops)"
+        )
+        while pool.alive == args.workers:
+            time.sleep(1.0)
+        print("a worker exited; shutting the pool down", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        pool.stop()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -241,6 +328,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1800.0,
         help="idle session time-to-live in seconds",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="pre-fork worker processes (>1 requires --backend sqlite)",
+    )
+    serve_cmd.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default=None,
+        help="state backend (default: REPRO_BACKEND, or in-memory)",
+    )
+    serve_cmd.add_argument(
+        "--state",
+        default=None,
+        help="sqlite state file path (default: REPRO_STATE, or a temp file)",
     )
     serve_cmd.set_defaults(func=cmd_serve)
 

@@ -1,0 +1,389 @@
+"""Pluggable state backends for the stateless serving tier.
+
+Every piece of shared portal state — session records, the façade query
+cache, view-store entries, workload-journal events — used to live in one
+Python heap, making one process the hard ceiling (ROADMAP item 2).  A
+:class:`StateBackend` is the storage those stores externalize into: a
+namespaced key/value store of *encoded* entries (see
+:mod:`repro.cluster.codecs`) plus atomic named counters (journal
+sequence numbers, per-tenant generations).
+
+Two implementations, both stdlib-only:
+
+* :class:`InMemoryBackend` — a lock-guarded dict of dicts.  Today's
+  behavior with the serialization boundary made explicit: values are
+  JSON text, so anything that round-trips through it also round-trips
+  through the persistent backend.
+* :class:`SqliteBackend` — a ``sqlite3`` file in WAL mode.  One
+  connection per process (re-opened after ``fork``, detected by pid),
+  every statement under a process lock; cross-process writers are
+  serialized by SQLite itself (``busy_timeout`` retries).  This is the
+  backend the :mod:`repro.cluster.pool` worker processes share.
+
+Values are *strings* by contract (the codecs' JSON), never live
+objects: the in-memory backend enforces it so the default mode cannot
+accidentally depend on shared mutable state the persistent mode would
+not provide.
+
+Keys sort bytewise; prefix scans (``items``/``keys``/``count`` with
+``prefix=``) are how the journal reads one user's history back in
+sequence order.  Store and counter names are namespaced by their owners
+(``"<namespace>:sessions"``), so any number of independent stores share
+one backend file.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+
+from repro.concurrency import make_lock
+from repro.errors import StorageError
+
+__all__ = ["StateBackend", "InMemoryBackend", "SqliteBackend"]
+
+#: Upper bound for prefix range scans: one code point above any
+#: character the key alphabet uses (keys are identifiers, separators and
+#: zero-padded digits, all far below it).
+_PREFIX_HI = "\U0010ffff"
+
+
+class StateBackend(ABC):
+    """Namespaced key/value stores + atomic counters, values as text."""
+
+    #: Implementation tag surfaced by ``stats()`` / the health endpoint.
+    kind: str = "abstract"
+
+    # -- key/value ------------------------------------------------------------
+
+    @abstractmethod
+    def put(self, store: str, key: str, value: str) -> None:
+        """Insert or replace one entry (replacement refreshes its age)."""
+
+    @abstractmethod
+    def get(self, store: str, key: str) -> str | None: ...
+
+    @abstractmethod
+    def delete(self, store: str, key: str) -> None:
+        """Forget one entry (no-op if absent)."""
+
+    @abstractmethod
+    def items(self, store: str, prefix: str = "") -> list[tuple[str, str]]:
+        """``(key, value)`` pairs under the prefix, sorted by key."""
+
+    def keys(self, store: str, prefix: str = "") -> list[str]:
+        return [key for key, _value in self.items(store, prefix)]
+
+    @abstractmethod
+    def count(self, store: str, prefix: str = "") -> int: ...
+
+    @abstractmethod
+    def clear(self, store: str) -> None: ...
+
+    @abstractmethod
+    def prune(self, store: str, max_rows: int) -> int:
+        """Drop the oldest-written entries beyond ``max_rows``.
+
+        Bounds unbounded-growth stores (the shared query/view caches,
+        whose generation-stamped keys go stale rather than being
+        deleted); returns how many entries were dropped.
+        """
+
+    # -- counters -------------------------------------------------------------
+
+    @abstractmethod
+    def incr(self, name: str, amount: int = 1) -> int:
+        """Atomically add to a counter (created at 0), returning the
+        new value — the cross-process allocator for journal sequence
+        numbers and per-tenant generations."""
+
+    @abstractmethod
+    def counter(self, name: str) -> int:
+        """Current counter value (0 if never incremented)."""
+
+    @abstractmethod
+    def counters(self, prefix: str = "") -> dict[str, int]: ...
+
+    # -- introspection ---------------------------------------------------------
+
+    @abstractmethod
+    def store_names(self) -> list[str]: ...
+
+    def stats(self) -> dict:
+        """Backend kind + per-store row counts (health endpoint shape)."""
+        return {
+            "kind": self.kind,
+            "stores": {name: self.count(name) for name in self.store_names()},
+            "counters": len(self.counters()),
+        }
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class InMemoryBackend(StateBackend):
+    """Heap-resident backend: today's single-process behavior, but with
+    the encode/decode boundary of the persistent one."""
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._lock = make_lock("InMemoryBackend._lock")
+        #: store name -> key -> encoded value, insertion-ordered so
+        #: ``prune`` can drop oldest-written first like the sqlite rowid.
+        # guarded-by: _lock
+        self._stores: dict[str, OrderedDict[str, str]] = {}
+        # guarded-by: _lock
+        self._counters: dict[str, int] = {}
+
+    def put(self, store: str, key: str, value: str) -> None:
+        if not isinstance(value, str):
+            raise StorageError(
+                f"backend values must be encoded text, got {type(value).__name__}"
+            )
+        with self._lock:
+            entries = self._stores.setdefault(store, OrderedDict())
+            entries.pop(key, None)  # re-put refreshes the write age
+            entries[key] = value
+
+    def get(self, store: str, key: str) -> str | None:
+        with self._lock:
+            return self._stores.get(store, {}).get(key)
+
+    def delete(self, store: str, key: str) -> None:
+        with self._lock:
+            self._stores.get(store, {}).pop(key, None)
+
+    def items(self, store: str, prefix: str = "") -> list[tuple[str, str]]:
+        with self._lock:
+            entries = self._stores.get(store, {})
+            return sorted(
+                (key, value)
+                for key, value in entries.items()
+                if key.startswith(prefix)
+            )
+
+    def count(self, store: str, prefix: str = "") -> int:
+        with self._lock:
+            entries = self._stores.get(store, {})
+            if not prefix:
+                return len(entries)
+            return sum(1 for key in entries if key.startswith(prefix))
+
+    def clear(self, store: str) -> None:
+        with self._lock:
+            self._stores.pop(store, None)
+
+    def prune(self, store: str, max_rows: int) -> int:
+        with self._lock:
+            entries = self._stores.get(store)
+            if entries is None:
+                return 0
+            dropped = 0
+            while len(entries) > max_rows:
+                entries.popitem(last=False)
+                dropped += 1
+            return dropped
+
+    def incr(self, name: str, amount: int = 1) -> int:
+        with self._lock:
+            value = self._counters.get(name, 0) + amount
+            self._counters[name] = value
+            return value
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
+    def store_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._stores)
+
+
+class SqliteBackend(StateBackend):
+    """Persistent backend on a ``sqlite3`` file in WAL mode.
+
+    WAL lets the pool's worker processes read concurrently while one
+    writes; write-write conflicts block on ``busy_timeout`` instead of
+    raising.  The connection is opened lazily and re-opened whenever the
+    pid changes: a SQLite connection must never be used across ``fork``,
+    and the pre-fork pool inherits this object in every child.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._lock = make_lock("SqliteBackend._lock")
+        # guarded-by: _lock
+        self._conn: sqlite3.Connection | None = None
+        # guarded-by: _lock
+        self._pid: int | None = None
+
+    # -- connection lifecycle ---------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:  # guarded-by-caller: _lock
+        pid = os.getpid()
+        if self._conn is None or self._pid != pid:
+            # A connection inherited across fork shares file offsets with
+            # the parent; never reuse it — open a fresh one for this pid.
+            self._conn = sqlite3.connect(
+                self.path,
+                timeout=30.0,
+                isolation_level=None,  # autocommit; statements are atomic
+                check_same_thread=False,  # guarded by _lock instead
+            )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS kv ("
+                " store TEXT NOT NULL,"
+                " key TEXT NOT NULL,"
+                " value TEXT NOT NULL,"
+                " PRIMARY KEY (store, key))"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS counters ("
+                " name TEXT PRIMARY KEY,"
+                " value INTEGER NOT NULL)"
+            )
+            self._pid = pid
+        return self._conn
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None and self._pid == os.getpid():
+                self._conn.close()
+            self._conn = None
+            self._pid = None
+
+    # -- key/value ------------------------------------------------------------
+
+    def put(self, store: str, key: str, value: str) -> None:
+        if not isinstance(value, str):
+            raise StorageError(
+                f"backend values must be encoded text, got {type(value).__name__}"
+            )
+        with self._lock:
+            # INSERT OR REPLACE re-inserts (fresh rowid), so a re-put
+            # refreshes the entry's prune age like the in-memory re-put.
+            self._connection().execute(
+                "INSERT OR REPLACE INTO kv (store, key, value) VALUES (?, ?, ?)",
+                (store, key, value),
+            )
+
+    def get(self, store: str, key: str) -> str | None:
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT value FROM kv WHERE store = ? AND key = ?",
+                (store, key),
+            ).fetchone()
+            return row[0] if row is not None else None
+
+    def delete(self, store: str, key: str) -> None:
+        with self._lock:
+            self._connection().execute(
+                "DELETE FROM kv WHERE store = ? AND key = ?", (store, key)
+            )
+
+    def items(self, store: str, prefix: str = "") -> list[tuple[str, str]]:
+        with self._lock:
+            if prefix:
+                rows = self._connection().execute(
+                    "SELECT key, value FROM kv"
+                    " WHERE store = ? AND key >= ? AND key < ?"
+                    " ORDER BY key",
+                    (store, prefix, prefix + _PREFIX_HI),
+                ).fetchall()
+            else:
+                rows = self._connection().execute(
+                    "SELECT key, value FROM kv WHERE store = ? ORDER BY key",
+                    (store,),
+                ).fetchall()
+            return [(key, value) for key, value in rows]
+
+    def count(self, store: str, prefix: str = "") -> int:
+        with self._lock:
+            if prefix:
+                row = self._connection().execute(
+                    "SELECT COUNT(*) FROM kv"
+                    " WHERE store = ? AND key >= ? AND key < ?",
+                    (store, prefix, prefix + _PREFIX_HI),
+                ).fetchone()
+            else:
+                row = self._connection().execute(
+                    "SELECT COUNT(*) FROM kv WHERE store = ?", (store,)
+                ).fetchone()
+            return int(row[0])
+
+    def clear(self, store: str) -> None:
+        with self._lock:
+            self._connection().execute(
+                "DELETE FROM kv WHERE store = ?", (store,)
+            )
+
+    def prune(self, store: str, max_rows: int) -> int:
+        with self._lock:
+            cursor = self._connection().execute(
+                "DELETE FROM kv WHERE store = ? AND rowid NOT IN ("
+                " SELECT rowid FROM kv WHERE store = ?"
+                " ORDER BY rowid DESC LIMIT ?)",
+                (store, store, max_rows),
+            )
+            return cursor.rowcount
+
+    # -- counters -------------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> int:
+        with self._lock:
+            row = self._connection().execute(
+                "INSERT INTO counters (name, value) VALUES (?, ?)"
+                " ON CONFLICT (name) DO UPDATE SET value = value + excluded.value"
+                " RETURNING value",
+                (name, amount),
+            ).fetchone()
+            return int(row[0])
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT value FROM counters WHERE name = ?", (name,)
+            ).fetchone()
+            return int(row[0]) if row is not None else 0
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        with self._lock:
+            if prefix:
+                rows = self._connection().execute(
+                    "SELECT name, value FROM counters"
+                    " WHERE name >= ? AND name < ?",
+                    (prefix, prefix + _PREFIX_HI),
+                ).fetchall()
+            else:
+                rows = self._connection().execute(
+                    "SELECT name, value FROM counters"
+                ).fetchall()
+            return {name: int(value) for name, value in rows}
+
+    def store_names(self) -> list[str]:
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT DISTINCT store FROM kv ORDER BY store"
+            ).fetchall()
+            return [row[0] for row in rows]
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out["path"] = self.path
+        return out

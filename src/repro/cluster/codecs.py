@@ -1,0 +1,327 @@
+"""Versioned serialization codecs for the four externalized stores.
+
+Every entry a :class:`~repro.cluster.backend.StateBackend` holds is JSON
+text produced here, stamped with a ``"v"`` schema version so a future
+layout change can coexist with persisted state from an older build.
+Decoding is strict: corrupt text, a non-object payload, an unknown
+version or a missing/mistyped field raises :class:`CodecError` — the
+caller treats the entry as poisoned and drops it rather than serving
+garbage.
+
+The four entry kinds mirror the shared stores:
+
+* **session records** — the rehydratable part of a
+  :class:`~repro.service.sessions.SessionRecord`: token, tenant, user,
+  clocks and the JSON-safe ``meta`` dict (journal opt-out, login
+  location, replayable selection reports).  The live session object is
+  *not* serialized — a worker resolving a cold token rebuilds it through
+  the engine (the rules are the authority, not a pickle).
+* **journal events** — :class:`~repro.reco.journal.WorkloadEvent` with
+  its payload thawed to plain JSON; decoding re-freezes it through the
+  event's own constructor, so persisted history is exactly as immutable
+  as in-heap history.
+* **view entries** — a :class:`~repro.personalization.engine.PersonalizedView`
+  reduced to its data: fact name, the frozen selection's members/
+  features, the surviving fact row ids, and the star generation stamp.
+  The star/schema objects are supplied at decode time by the worker
+  that owns them — the generation stamp in the entry's *key* is what
+  guarantees both sides describe the same star state (the same
+  invalidation protocol as in-heap, applied cross-process).
+* **query-cache entries** — :class:`~repro.service.facade.CellSetPayload`
+  with its nested tuples restored on decode, so a payload served from
+  the persistent cache is structurally identical (and therefore
+  byte-identical once JSON-serialized) to one served from the heap.
+
+Timestamps are ``time.monotonic()`` values.  On Linux that clock is
+machine-wide (``CLOCK_MONOTONIC``), so TTL arithmetic stays valid across
+the pre-fork pool's processes; it is *not* valid across reboots, which
+is fine — sessions are idle-TTL state, not durable data.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.errors import StorageError
+
+__all__ = [
+    "CodecError",
+    "encode_session_record",
+    "decode_session_record",
+    "encode_journal_event",
+    "decode_journal_event",
+    "encode_view_entry",
+    "decode_view_entry",
+    "encode_query_payload",
+    "decode_query_payload",
+]
+
+
+class CodecError(StorageError):
+    """A persisted entry cannot be decoded (corrupt or unknown version)."""
+
+
+def _loads(text: str, kind: str, version: int) -> dict:
+    """Parse + envelope-check one encoded entry."""
+    try:
+        data = json.loads(text)
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"corrupt {kind} entry: {exc}") from exc
+    if not isinstance(data, dict):
+        raise CodecError(
+            f"corrupt {kind} entry: expected an object, got "
+            f"{type(data).__name__}"
+        )
+    if data.get("v") != version:
+        raise CodecError(
+            f"unknown {kind} codec version {data.get('v')!r} "
+            f"(this build reads v{version})"
+        )
+    return data
+
+
+def _field(data: dict, kind: str, name: str, types) -> object:
+    value = data.get(name)
+    if not isinstance(value, types):
+        raise CodecError(
+            f"corrupt {kind} entry: field {name!r} is "
+            f"{type(value).__name__}, expected "
+            f"{getattr(types, '__name__', types)}"
+        )
+    return value
+
+
+def _thaw(value: object) -> object:
+    """Deep-convert a frozen journal payload to plain JSON values.
+
+    Inverts :func:`repro.reco.journal._freeze` for serialization:
+    mapping proxies become dicts, tuples become lists, frozensets become
+    *sorted* lists (sets are unordered in the heap and JSON has no set,
+    so the sorted form is their canonical encoding).
+    """
+    if isinstance(value, Mapping):
+        return {key: _thaw(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_thaw(inner) for inner in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_thaw(inner) for inner in value)
+    return value
+
+
+def _deep_tuple(value: object) -> object:
+    """Restore nested list structure to the tuples the heap forms use."""
+    if isinstance(value, list):
+        return tuple(_deep_tuple(inner) for inner in value)
+    return value
+
+
+# -- session records ------------------------------------------------------------
+
+SESSION_RECORD_VERSION = 1
+
+
+def encode_session_record(
+    token: str,
+    datamart: str,
+    user_id: str,
+    created_at: float,
+    last_access: float,
+    meta: dict,
+) -> str:
+    """Encode the rehydratable fields of one session record.
+
+    ``meta`` must be JSON-safe — the service keeps it that way (the
+    journal flag is a bool, the login location a ``[x, y]`` pair, the
+    replay log a list of ``[target, condition]`` pairs).
+    """
+    return json.dumps(
+        {
+            "v": SESSION_RECORD_VERSION,
+            "token": token,
+            "datamart": datamart,
+            "user_id": user_id,
+            "created_at": created_at,
+            "last_access": last_access,
+            "meta": meta,
+        },
+        separators=(",", ":"),
+    )
+
+
+def decode_session_record(text: str) -> dict:
+    """Decode to a plain field dict (the store builds the live record)."""
+    data = _loads(text, "session-record", SESSION_RECORD_VERSION)
+    return {
+        "token": _field(data, "session-record", "token", str),
+        "datamart": _field(data, "session-record", "datamart", str),
+        "user_id": _field(data, "session-record", "user_id", str),
+        "created_at": float(
+            _field(data, "session-record", "created_at", (int, float))
+        ),
+        "last_access": float(
+            _field(data, "session-record", "last_access", (int, float))
+        ),
+        "meta": _field(data, "session-record", "meta", dict),
+    }
+
+
+# -- journal events --------------------------------------------------------------
+
+JOURNAL_EVENT_VERSION = 1
+
+
+def encode_journal_event(event) -> str:
+    """Encode one :class:`~repro.reco.journal.WorkloadEvent`."""
+    return json.dumps(
+        {
+            "v": JOURNAL_EVENT_VERSION,
+            "seq": event.seq,
+            "kind": event.kind,
+            "datamart": event.datamart,
+            "user_id": event.user_id,
+            "payload": _thaw(event.payload),
+        },
+        separators=(",", ":"),
+    )
+
+
+def decode_journal_event(text: str):
+    """Decode to a live (re-frozen) :class:`WorkloadEvent`."""
+    from repro.reco.journal import WorkloadEvent
+
+    data = _loads(text, "journal-event", JOURNAL_EVENT_VERSION)
+    return WorkloadEvent(
+        seq=int(_field(data, "journal-event", "seq", int)),
+        kind=_field(data, "journal-event", "kind", str),
+        datamart=_field(data, "journal-event", "datamart", str),
+        user_id=_field(data, "journal-event", "user_id", str),
+        # WorkloadEvent.__post_init__ re-freezes the payload deeply, so
+        # the decoded event is as tamper-proof as an in-heap one.
+        payload=_field(data, "journal-event", "payload", dict),
+    )
+
+
+# -- view entries ----------------------------------------------------------------
+
+VIEW_ENTRY_VERSION = 1
+
+
+def encode_view_entry(view) -> str:
+    """Encode one stored :class:`PersonalizedView` (data only).
+
+    The entry is stamped with the selection fingerprint and the star
+    generation it was built against — the decode side re-checks both
+    against its lookup key, so an entry can never be applied to a star
+    state it does not describe.
+    """
+    selection = view.selection
+    return json.dumps(
+        {
+            "v": VIEW_ENTRY_VERSION,
+            "fact": view.fact,
+            "fingerprint": selection.fingerprint(),
+            "members": sorted(
+                [dimension, level, sorted(keys)]
+                for (dimension, level), keys in selection.members.items()
+            ),
+            "features": sorted(
+                [layer, sorted(names)]
+                for layer, names in selection.features.items()
+            ),
+            "selection_generation": selection.generation,
+            "fact_rows": list(view.fact_rows),
+        },
+        separators=(",", ":"),
+    )
+
+
+def decode_view_entry(text: str, star, schema, fingerprint: str):
+    """Decode to a live view over the caller's star/schema objects.
+
+    ``fingerprint`` is the selection fingerprint from the lookup key;
+    the rebuilt selection must reproduce it exactly (a content check on
+    top of the envelope checks — fingerprints are digests of the member/
+    feature triples, so any corruption the field checks miss fails
+    here).
+    """
+    from repro.personalization.engine import PersonalizedView
+    from repro.prml.evaluator import SelectionSet
+
+    data = _loads(text, "view-entry", VIEW_ENTRY_VERSION)
+    fact = _field(data, "view-entry", "fact", str)
+    members = _field(data, "view-entry", "members", list)
+    features = _field(data, "view-entry", "features", list)
+    fact_rows = _field(data, "view-entry", "fact_rows", list)
+    selection = SelectionSet()
+    try:
+        selection.members = {
+            (dimension, level): set(keys)
+            for dimension, level, keys in members
+        }
+        selection.features = {layer: set(names) for layer, names in features}
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"corrupt view-entry entry: {exc}") from exc
+    selection.generation = int(
+        _field(data, "view-entry", "selection_generation", int)
+    )
+    if selection.fingerprint() != fingerprint or data.get("fingerprint") != fingerprint:
+        raise CodecError(
+            "corrupt view-entry entry: selection content does not match "
+            "its fingerprint"
+        )
+    if not all(isinstance(row, int) for row in fact_rows):
+        raise CodecError("corrupt view-entry entry: non-integer fact row id")
+    return PersonalizedView(
+        star=star,
+        schema=schema,
+        selection=selection,
+        fact_rows=list(fact_rows),
+        fact=fact,
+    )
+
+
+# -- query-cache entries -----------------------------------------------------------
+
+QUERY_PAYLOAD_VERSION = 1
+
+
+def encode_query_payload(payload) -> str:
+    """Encode one :class:`~repro.service.facade.CellSetPayload`."""
+    return json.dumps(
+        {
+            "v": QUERY_PAYLOAD_VERSION,
+            "axes": list(payload.axes),
+            "labels": _thaw(payload.labels),
+            "rows": _thaw(payload.rows),
+            "fact_rows_scanned": payload.fact_rows_scanned,
+            "fact_rows_matched": payload.fact_rows_matched,
+        },
+        separators=(",", ":"),
+    )
+
+
+def decode_query_payload(text: str):
+    """Decode to a frozen :class:`CellSetPayload` (tuples all the way
+    down, like the heap form — no consumer may mutate a cached row)."""
+    from repro.service.facade import CellSetPayload
+
+    data = _loads(text, "query-payload", QUERY_PAYLOAD_VERSION)
+    axes = _field(data, "query-payload", "axes", list)
+    labels = _field(data, "query-payload", "labels", list)
+    rows = _field(data, "query-payload", "rows", list)
+    if not all(isinstance(axis, str) for axis in axes):
+        raise CodecError("corrupt query-payload entry: non-string axis")
+    if not all(isinstance(row, list) for row in rows):
+        raise CodecError("corrupt query-payload entry: non-list row")
+    return CellSetPayload(
+        axes=tuple(axes),
+        labels=_deep_tuple(labels),
+        rows=_deep_tuple(rows),
+        fact_rows_scanned=int(
+            _field(data, "query-payload", "fact_rows_scanned", int)
+        ),
+        fact_rows_matched=int(
+            _field(data, "query-payload", "fact_rows_matched", int)
+        ),
+    )

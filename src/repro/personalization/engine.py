@@ -302,6 +302,7 @@ class PersonalizationEngine:
         enable_caches: bool = True,
         view_store_size: int = 128,
         incremental_views: bool = True,
+        view_store: ViewStore | None = None,
     ) -> None:
         schema = star.schema
         if not isinstance(schema, GeoMDSchema):
@@ -328,11 +329,20 @@ class PersonalizationEngine:
         #: rebuilding.  ``view_store_size=0`` removes it (sessions fall
         #: back to private memo + rebuild); ``incremental_views=False``
         #: keeps sharing but turns fact deltas back into invalidations.
-        self.view_store: ViewStore | None = (
-            ViewStore(view_store_size, incremental=incremental_views)
-            if view_store_size > 0
-            else None
-        )
+        #: An explicit ``view_store`` instance overrides construction —
+        #: the cluster tier passes a backend-backed store with a fixed
+        #: namespace so pool workers share builds; the default goes
+        #: through the env-selected factory.
+        if view_store is not None:
+            self.view_store: ViewStore | None = view_store
+        elif view_store_size > 0:
+            from repro.cluster.config import make_view_store
+
+            self.view_store = make_view_store(
+                view_store_size, incremental=incremental_views
+            )
+        else:
+            self.view_store = None
         if self.view_store is not None:
             star.add_mutation_listener(self._on_star_mutation)
         self.rules: list[RegisteredRule] = []

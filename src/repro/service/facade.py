@@ -34,7 +34,7 @@ from typing import NamedTuple
 from repro.analysis import sanitizer as _sanitizer
 from repro.concurrency import make_lock
 from repro.errors import BadRequestError, PRMLError, QueryError, UnauthorizedError
-from repro.lru import ThreadSafeLRU
+from repro.geometry import Point
 from repro.olap.gmdql import parse_query
 from repro.olap.query import execute
 from repro.personalization.engine import PersonalizationEngine, PersonalizedSession
@@ -91,11 +91,24 @@ class PersonalizationService:
         query_cache_size: int = 256,
         journal: WorkloadJournal | None = None,
         recommender: Recommender | None = None,
+        query_cache=None,
     ) -> None:
+        # The default stores are env-selected (REPRO_BACKEND): in-heap
+        # classes in the default mode, backend-backed two-tier stores
+        # over the shared persistent backend with REPRO_BACKEND=sqlite
+        # (see repro.cluster.config).  Explicit arguments always win.
+        from repro.cluster.config import (
+            make_journal,
+            make_query_cache,
+            make_session_store,
+        )
+
         self.registry = registry
         # `is not None` matters: an empty store has __len__ == 0 and is falsy.
         self.sessions = (
-            session_store if session_store is not None else InMemorySessionStore()
+            session_store
+            if session_store is not None
+            else make_session_store(resolver=self._rehydrate_session)
         )
         # guarded-by: _lock
         self._sessions_started: dict[str, int] = {}
@@ -110,12 +123,18 @@ class PersonalizationService:
         if query_cache_size < 0:
             raise ValueError("query_cache_size must be >= 0")
         self.query_cache_size = query_cache_size
-        self._query_cache: ThreadSafeLRU = ThreadSafeLRU(query_cache_size)
+        #: ThreadSafeLRU or its backend-backed equivalent (same get/put/
+        #: clear/hits/misses surface, entries shared across workers).
+        self._query_cache = (
+            query_cache
+            if query_cache is not None
+            else make_query_cache(query_cache_size)
+        )
         #: Workload journal + recommender: every query, selection report
         #: and layer fetch is journaled per (datamart, user) — unless the
         #: login opted out — and the recommender ranks suggestions from
         #: similar users' journals (see :mod:`repro.reco`).
-        self.journal = journal if journal is not None else WorkloadJournal()
+        self.journal = journal if journal is not None else make_journal()
         self.recommender = (
             recommender if recommender is not None else Recommender(self.journal)
         )
@@ -131,15 +150,24 @@ class PersonalizationService:
             session = datamart.engine.start_session(
                 profile, location=request.location
             )
-        record = self.sessions.put(
-            session, datamart=datamart.name, user_id=request.user
-        )
         # The journaling opt-out travels with the session record, not the
         # user: a later login may opt back in and resume the history.  The
-        # token is live the moment put() returns, so the meta write takes
-        # the record lock like every other same-token operation.
-        with record.lock:
-            record.meta["journal"] = request.journal
+        # login location rides along so a persistent store can rebuild
+        # the session in another process (see _rehydrate_session) —
+        # meta values must stay JSON-safe for exactly that reason.
+        record = self.sessions.put(
+            session,
+            datamart=datamart.name,
+            user_id=request.user,
+            meta={
+                "journal": request.journal,
+                "location": (
+                    [request.location.x, request.location.y]
+                    if request.location is not None
+                    else None
+                ),
+            },
+        )
         return LoginResult(
             token=record.token,
             user=request.user,
@@ -294,6 +322,15 @@ class PersonalizationService:
                         "condition": request.condition,
                     },
                 ) from exc
+            # Log the accepted report on the record so a persistent
+            # store can replay it: a rehydrated session re-fires the
+            # same acquisition rules and lands on the same selection
+            # content (selections are additive, so replay is idempotent
+            # in content).  Bounded by the session TTL, not by count.
+            record.meta.setdefault("selections", []).append(
+                [request.target, request.condition]
+            )
+            self.sessions.persist(record)
             if self._journal_enabled(record):
                 # Snapshot the member selection *after* acquisition rules
                 # fired: this is the spatial footprint similarity is
@@ -450,6 +487,11 @@ class PersonalizationService:
             ],
             "active_sessions": len(self.sessions),
             "query_cache": query_cache,
+            # Which state tier this process runs on: backend kind, rows
+            # per store, and the pool worker id when forked (None
+            # single-process) — the per-backend stats the cluster mode's
+            # load balancer and its tests read.
+            "state_backend": self._state_backend_stats(),
             "journal": self.journal.stats(),
             "recommender": self.recommender.stats(),
             # Lock acquisition/contention counters and the lock-order
@@ -478,6 +520,22 @@ class PersonalizationService:
         with self._lock:
             return self._sessions_started.get(datamart, 0)
 
+    def _state_backend_stats(self) -> dict:
+        """The health block for the state tier (see health())."""
+        from repro.cluster.config import state_health, worker_id
+
+        backend = getattr(self.sessions, "backend", None)
+        if backend is not None:
+            # The session store names the backend this service actually
+            # runs on (a pool worker's explicitly wired backend may not
+            # be the env-selected shared one).
+            stats = backend.stats()
+            stats["worker_id"] = worker_id()
+            if hasattr(self.sessions, "stats"):
+                stats["sessions"] = self.sessions.stats()
+            return stats
+        return state_health()
+
     # -- internals ---------------------------------------------------------------
 
     @staticmethod
@@ -493,6 +551,32 @@ class PersonalizationService:
     def _journal_layer(self, record: SessionRecord, name: str) -> None:
         if self._journal_enabled(record):
             self.journal.record_layer(record.datamart, record.user_id, name)
+
+    def _rehydrate_session(self, datamart_name: str, user_id: str, meta: dict):
+        """Rebuild a live session for a persisted record (another worker
+        issued the token, or this worker spilled the live session).
+
+        A login-equivalent engine call — SessionStart rules fire against
+        the user's profile and login location — followed by a replay of
+        the selection reports the record logged, so the rehydrated
+        session's selection *content* (and therefore its fingerprint,
+        its shared view and its query-cache keys) matches the original.
+        """
+        datamart = self.registry.get(datamart_name)
+        profile = datamart.profile(user_id)
+        self._ensure_hooked(datamart)
+        coordinates = meta.get("location")
+        location = (
+            Point(coordinates[0], coordinates[1])
+            if isinstance(coordinates, (list, tuple)) and len(coordinates) == 2
+            else None
+        )
+        with self._engine_lock(datamart.engine):
+            session = datamart.engine.start_session(profile, location=location)
+        for report in meta.get("selections", ()):
+            if isinstance(report, (list, tuple)) and len(report) == 2:
+                session.record_spatial_selection(report[0], report[1])
+        return session
 
     def _record(self, token: str | None) -> SessionRecord:
         if token is None:

@@ -59,8 +59,19 @@ class SessionStore(ABC):
     """
 
     @abstractmethod
-    def put(self, session: object, *, datamart: str, user_id: str) -> SessionRecord:
-        """Admit a session, returning its record (with a fresh token)."""
+    def put(
+        self,
+        session: object,
+        *,
+        datamart: str,
+        user_id: str,
+        meta: dict | None = None,
+    ) -> SessionRecord:
+        """Admit a session, returning its record (with a fresh token).
+
+        ``meta`` seeds the record's service-level bookkeeping dict; a
+        persistent store serializes it, so values must be JSON-safe.
+        """
 
     @abstractmethod
     def get(self, token: str) -> SessionRecord:
@@ -79,6 +90,15 @@ class SessionStore(ABC):
 
     @abstractmethod
     def __iter__(self) -> Iterator[SessionRecord]: ...
+
+    def persist(self, record: SessionRecord) -> None:
+        """Flush a record's mutated ``meta`` to durable storage.
+
+        No-op for heap-resident stores; the backend-backed store
+        re-encodes the record so meta mutations (journal opt-out,
+        selection replay log) survive a worker change.  Call with
+        ``record.lock`` held, like any same-token operation.
+        """
 
 
 def _default_token_factory() -> str:
@@ -125,7 +145,14 @@ class InMemorySessionStore(SessionStore):
 
     # -- SessionStore API ---------------------------------------------------------
 
-    def put(self, session: object, *, datamart: str, user_id: str) -> SessionRecord:
+    def put(
+        self,
+        session: object,
+        *,
+        datamart: str,
+        user_id: str,
+        meta: dict | None = None,
+    ) -> SessionRecord:
         now = self._clock()
         ended: list[SessionRecord] = []
         with self._lock:
@@ -143,6 +170,7 @@ class InMemorySessionStore(SessionStore):
                 user_id=user_id,
                 created_at=now,
                 last_access=now,
+                meta=dict(meta or {}),
             )
             self._records[token] = record
         for stale in ended:

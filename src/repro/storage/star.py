@@ -468,17 +468,20 @@ class StarSchema:
         O(leaf-members) scan per query into dict lookups.
         """
         cache_key = (dimension, level)
-        index = self._rollup_index.get(cache_key)
-        if index is None:
-            table = self.dimension_table(dimension)
-            with self._cache_lock:
-                index = self._rollup_index.get(cache_key)
-                if index is None:
-                    index = {}
-                    for leaf in table.leaf_members():
-                        ancestor = self.rollup_member(dimension, leaf.key, level)
-                        index.setdefault(ancestor.key, set()).add(leaf.key)
-                    self._rollup_index[cache_key] = index
+        # Read and build under the cache lock (an RLock, so the nested
+        # rollup_member calls re-enter it): the unlocked double-checked
+        # fast path this used to have was grandfathered in the lint
+        # baseline and is retired — the lock is uncontended in steady
+        # state and a dict .get under it costs the same dict .get.
+        with self._cache_lock:
+            index = self._rollup_index.get(cache_key)
+            if index is None:
+                table = self.dimension_table(dimension)
+                index = {}
+                for leaf in table.leaf_members():
+                    ancestor = self.rollup_member(dimension, leaf.key, level)
+                    index.setdefault(ancestor.key, set()).add(leaf.key)
+                self._rollup_index[cache_key] = index
         return index
 
     def rollup_translation(
@@ -547,21 +550,19 @@ class StarSchema:
         coordinate arrays whose envelope query is a vectorized range
         test.  Invalidated by :meth:`note_feature_change`.
         """
-        cached = self._layer_grid.get(name, _UNBUILT)
-        if cached is _UNBUILT:
-            table = self.layer_table(name)
-            with self._cache_lock:
-                cached = self._layer_grid.get(name, _UNBUILT)
-                if cached is _UNBUILT:
-                    geometries = [f.geometry for f in table.features()]
-                    if geometries:
-                        index = EnvelopeColumns(
-                            [(g, i) for i, g in enumerate(geometries)]
-                        )
-                        cached = (index, geometries)
-                    else:
-                        cached = None
-                    self._layer_grid[name] = cached
+        with self._cache_lock:
+            cached = self._layer_grid.get(name, _UNBUILT)
+            if cached is _UNBUILT:
+                table = self.layer_table(name)
+                geometries = [f.geometry for f in table.features()]
+                if geometries:
+                    index = EnvelopeColumns(
+                        [(g, i) for i, g in enumerate(geometries)]
+                    )
+                    cached = (index, geometries)
+                else:
+                    cached = None
+                self._layer_grid[name] = cached
         return cached  # type: ignore[return-value]
 
     def level_grid_index(
@@ -574,25 +575,23 @@ class StarSchema:
         geometry yet.  Invalidated by :meth:`note_member_change`.
         """
         cache_key = (dimension, level)
-        cached = self._level_grid.get(cache_key, _UNBUILT)
-        if cached is _UNBUILT:
-            table = self.dimension_table(dimension)
-            with self._cache_lock:
-                cached = self._level_grid.get(cache_key, _UNBUILT)
-                if cached is _UNBUILT:
-                    entries: list[tuple[Geometry, str]] = []
-                    for member in table.members(level):
-                        geometry = member.geometry
-                        if geometry is not None:
-                            entries.append((geometry, member.key))
-                    if entries:
-                        cached = (
-                            EnvelopeColumns(entries),
-                            {key: geometry for geometry, key in entries},
-                        )
-                    else:
-                        cached = None
-                    self._level_grid[cache_key] = cached
+        with self._cache_lock:
+            cached = self._level_grid.get(cache_key, _UNBUILT)
+            if cached is _UNBUILT:
+                table = self.dimension_table(dimension)
+                entries: list[tuple[Geometry, str]] = []
+                for member in table.members(level):
+                    geometry = member.geometry
+                    if geometry is not None:
+                        entries.append((geometry, member.key))
+                if entries:
+                    cached = (
+                        EnvelopeColumns(entries),
+                        {key: geometry for geometry, key in entries},
+                    )
+                else:
+                    cached = None
+                self._level_grid[cache_key] = cached
         return cached  # type: ignore[return-value]
 
     # -- statistics -----------------------------------------------------------------

@@ -332,17 +332,15 @@ class FactTable:
         :meth:`insert_many` appends to a built map, so callers may hold
         on to the returned mapping only within one request.
         """
-        postings = self._postings.get(dimension)
-        if postings is None:
-            dictionary = self.dictionary(dimension)  # existence check
-            with self._lock:
-                postings = self._postings.get(dimension)
-                if postings is None:
-                    postings = {}
-                    decode = dictionary.decode
-                    for row_id, code in enumerate(self._codes[dimension]):
-                        postings.setdefault(decode(code), []).append(row_id)
-                    self._postings[dimension] = postings
+        with self._lock:
+            postings = self._postings.get(dimension)
+            if postings is None:
+                dictionary = self.dictionary(dimension)  # existence check
+                postings = {}
+                decode = dictionary.decode
+                for row_id, code in enumerate(self._codes[dimension]):
+                    postings.setdefault(decode(code), []).append(row_id)
+                self._postings[dimension] = postings
         return postings
 
     def measure_column(self, measure: str) -> list[float]:

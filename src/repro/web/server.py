@@ -17,6 +17,7 @@ the same token are serialized per session record in the service layer.
 from __future__ import annotations
 
 import json
+import socket
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
@@ -29,6 +30,12 @@ __all__ = ["make_server", "serve"]
 
 def _make_handler(app: PortalApp) -> type[BaseHTTPRequestHandler]:
     class PortalHandler(BaseHTTPRequestHandler):
+        # HTTP/1.1 keep-alive: responses always carry Content-Length, so
+        # persistent connections are safe — and they give the worker-pool
+        # clients connection affinity (one TCP connection sticks to the
+        # worker that accepted it).
+        protocol_version = "HTTP/1.1"
+
         def _dispatch(self, method: str) -> None:
             length = int(self.headers.get("Content-Length", "0") or "0")
             raw = self.rfile.read(length) if length else b""
@@ -65,10 +72,29 @@ def _make_handler(app: PortalApp) -> type[BaseHTTPRequestHandler]:
 
 
 def make_server(
-    app: PortalApp, host: str = "127.0.0.1", port: int = 8080
+    app: PortalApp,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    sock: socket.socket | None = None,
 ) -> ThreadingHTTPServer:
-    """Build the HTTP server without starting it (port 0 picks a free one)."""
-    return ThreadingHTTPServer((host, port), _make_handler(app))
+    """Build the HTTP server without starting it (port 0 picks a free one).
+
+    ``sock`` adopts an already-bound, already-listening socket instead
+    of binding a new one — the pre-fork worker pool binds once in the
+    parent and every forked worker serves the inherited socket, so the
+    kernel load-balances accepts across workers with no port races.
+    """
+    if sock is None:
+        return ThreadingHTTPServer((host, port), _make_handler(app))
+    server = ThreadingHTTPServer(
+        sock.getsockname()[:2], _make_handler(app), bind_and_activate=False
+    )
+    # Replace the unbound socket the constructor made with the adopted
+    # one; the server now accepts on it but never binds or listens.
+    server.socket.close()
+    server.socket = sock
+    server.server_address = sock.getsockname()[:2]
+    return server
 
 
 def serve(app: PortalApp, host: str = "127.0.0.1", port: int = 8080) -> None:

@@ -1,0 +1,240 @@
+"""Round-trip property tests for the serialization codecs.
+
+Every entry kind a backend holds must decode back to an equal live
+object (hypothesis-generated payloads), and every corrupt payload must
+be rejected with :class:`CodecError` — never decoded into garbage.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.codecs import (
+    CodecError,
+    decode_journal_event,
+    decode_query_payload,
+    decode_session_record,
+    decode_view_entry,
+    encode_journal_event,
+    encode_query_payload,
+    encode_session_record,
+    encode_view_entry,
+)
+from repro.reco.journal import WorkloadEvent
+from repro.service.facade import CellSetPayload
+
+# JSON-exact scalars: finite floats round-trip bit-for-bit through
+# json.dumps/loads, NaN would break equality checks.
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=20),
+)
+
+_json_value = st.recursive(
+    _scalar,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=10), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+_meta = st.dictionaries(st.text(max_size=16), _json_value, max_size=5)
+
+
+class TestSessionRecordCodec:
+    @given(
+        token=st.text(min_size=1, max_size=30),
+        datamart=st.text(min_size=1, max_size=20),
+        user_id=st.text(min_size=1, max_size=20),
+        created_at=st.floats(min_value=0, max_value=1e9),
+        last_access=st.floats(min_value=0, max_value=1e9),
+        meta=_meta,
+    )
+    @settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
+    def test_round_trip(
+        self, token, datamart, user_id, created_at, last_access, meta
+    ):
+        encoded = encode_session_record(
+            token=token,
+            datamart=datamart,
+            user_id=user_id,
+            created_at=created_at,
+            last_access=last_access,
+            meta=meta,
+        )
+        fields = decode_session_record(encoded)
+        assert fields["token"] == token
+        assert fields["datamart"] == datamart
+        assert fields["user_id"] == user_id
+        assert fields["created_at"] == created_at
+        assert fields["last_access"] == last_access
+        assert fields["meta"] == json.loads(json.dumps(meta))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json {",
+            "[1, 2, 3]",
+            '"a string"',
+            json.dumps({"v": 99, "token": "t"}),
+            json.dumps({"token": "t"}),  # no version at all
+            json.dumps({"v": 1, "token": 17, "datamart": "d", "user_id": "u",
+                        "created_at": 0, "last_access": 0, "meta": {}}),
+            json.dumps({"v": 1, "token": "t", "datamart": "d", "user_id": "u",
+                        "created_at": "soon", "last_access": 0, "meta": {}}),
+            json.dumps({"v": 1, "token": "t", "datamart": "d", "user_id": "u",
+                        "created_at": 0, "last_access": 0, "meta": [1]}),
+        ],
+    )
+    def test_corrupt_rejected(self, text):
+        with pytest.raises(CodecError):
+            decode_session_record(text)
+
+
+class TestJournalEventCodec:
+    @given(
+        seq=st.integers(min_value=1, max_value=2**40),
+        kind=st.sampled_from(["query", "selection", "layer"]),
+        datamart=st.text(min_size=1, max_size=20),
+        user_id=st.text(min_size=1, max_size=20),
+        payload=st.dictionaries(st.text(max_size=10), _json_value, max_size=4),
+    )
+    @settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
+    def test_round_trip(self, seq, kind, datamart, user_id, payload):
+        event = WorkloadEvent(
+            seq=seq, kind=kind, datamart=datamart, user_id=user_id,
+            payload=payload,
+        )
+        decoded = decode_journal_event(encode_journal_event(event))
+        assert decoded.seq == event.seq
+        assert decoded.kind == event.kind
+        assert decoded.datamart == event.datamart
+        assert decoded.user_id == event.user_id
+        # Both payloads went through _freeze; equality is deep.
+        assert decoded.payload == event.payload
+
+    def test_decoded_payload_is_frozen(self):
+        event = WorkloadEvent(
+            seq=1, kind="query", datamart="d", user_id="u",
+            payload={"q": "SELECT", "tags": ["a", "b"]},
+        )
+        decoded = decode_journal_event(encode_journal_event(event))
+        with pytest.raises(TypeError):
+            decoded.payload["q"] = "overwritten"
+        assert isinstance(decoded.payload["tags"], tuple)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "garbage",
+            json.dumps({"v": 2, "seq": 1}),
+            json.dumps({"v": 1, "seq": "one", "kind": "query",
+                        "datamart": "d", "user_id": "u", "payload": {}}),
+            json.dumps({"v": 1, "seq": 1, "kind": "query",
+                        "datamart": "d", "user_id": "u", "payload": "no"}),
+        ],
+    )
+    def test_corrupt_rejected(self, text):
+        with pytest.raises(CodecError):
+            decode_journal_event(text)
+
+
+class TestQueryPayloadCodec:
+    @given(
+        axes=st.lists(st.text(min_size=1, max_size=10), max_size=3).map(tuple),
+        labels=st.lists(
+            st.lists(st.text(max_size=8), max_size=3).map(tuple), max_size=3
+        ).map(tuple),
+        rows=st.lists(
+            st.lists(_scalar, max_size=4).map(tuple), max_size=6
+        ).map(tuple),
+        scanned=st.integers(min_value=0, max_value=10**6),
+        matched=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
+    def test_round_trip(self, axes, labels, rows, scanned, matched):
+        payload = CellSetPayload(
+            axes=axes,
+            labels=labels,
+            rows=rows,
+            fact_rows_scanned=scanned,
+            fact_rows_matched=matched,
+        )
+        decoded = decode_query_payload(encode_query_payload(payload))
+        assert decoded == payload
+        # Frozen all the way down: rows stay tuples of tuples.
+        assert all(isinstance(row, tuple) for row in decoded.rows)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "nope",
+            json.dumps({"v": 1, "axes": [1], "labels": [], "rows": [],
+                        "fact_rows_scanned": 0, "fact_rows_matched": 0}),
+            json.dumps({"v": 1, "axes": [], "labels": [], "rows": ["flat"],
+                        "fact_rows_scanned": 0, "fact_rows_matched": 0}),
+            json.dumps({"v": 1, "axes": [], "labels": [], "rows": [],
+                        "fact_rows_scanned": "lots", "fact_rows_matched": 0}),
+        ],
+    )
+    def test_corrupt_rejected(self, text):
+        with pytest.raises(CodecError):
+            decode_query_payload(text)
+
+
+class TestViewEntryCodec:
+    @pytest.fixture()
+    def view(self, engine, profile, world):
+        session = engine.start_session(
+            profile, location=world.stores[0].location
+        )
+        return session.view()
+
+    def test_round_trip(self, view, star):
+        fingerprint = view.selection.fingerprint()
+        encoded = encode_view_entry(view)
+        decoded = decode_view_entry(encoded, star, star.schema, fingerprint)
+        assert decoded.fact == view.fact
+        assert decoded.fact_rows == list(view.fact_rows)
+        assert decoded.selection.members == view.selection.members
+        assert decoded.selection.features == view.selection.features
+        assert decoded.selection.fingerprint() == fingerprint
+        assert decoded.star is star
+
+    def test_fingerprint_mismatch_rejected(self, view, star):
+        encoded = encode_view_entry(view)
+        with pytest.raises(CodecError):
+            decode_view_entry(encoded, star, star.schema, "sha1:not-it")
+
+    def test_tampered_members_rejected(self, view, star):
+        """Corruption the field checks miss still fails the fingerprint
+        content check."""
+        fingerprint = view.selection.fingerprint()
+        data = json.loads(encode_view_entry(view))
+        data["members"] = data["members"][1:]  # drop one entry
+        with pytest.raises(CodecError):
+            decode_view_entry(
+                json.dumps(data), star, star.schema, fingerprint
+            )
+
+    def test_non_integer_fact_rows_rejected(self, view, star):
+        fingerprint = view.selection.fingerprint()
+        data = json.loads(encode_view_entry(view))
+        data["fact_rows"] = ["zero", 1]
+        with pytest.raises(CodecError):
+            decode_view_entry(
+                json.dumps(data), star, star.schema, fingerprint
+            )
+
+    @pytest.mark.parametrize(
+        "text", ["{broken", json.dumps({"v": 5}), json.dumps([1, 2])]
+    )
+    def test_corrupt_rejected(self, text, star):
+        with pytest.raises(CodecError):
+            decode_view_entry(text, star, star.schema, "fp")

@@ -1,0 +1,90 @@
+"""The health endpoint's per-backend state tier stats (``state_backend``).
+
+The cluster mode's load balancer (and CI's cluster job) reads this
+block: backend kind, rows per store, and the pool worker id.  Default
+mode must report ``memory`` *without* creating any state file.
+"""
+
+import pytest
+
+from repro.cluster.backend import InMemoryBackend
+from repro.cluster.stores import (
+    BackendQueryCache,
+    BackendSessionStore,
+    BackendWorkloadJournal,
+)
+from repro.data import build_regional_manager_profile
+from repro.service import (
+    DatamartRegistry,
+    LoginRequest,
+    PersonalizationService,
+    QueryRequest,
+)
+
+QUERY = "SELECT SUM(UnitSales) FROM Sales BY Product.Family"
+
+
+@pytest.fixture()
+def registry(engine, user_schema):
+    registry = DatamartRegistry()
+    sales = registry.register("sales", engine, description="paper scenario")
+    sales.register_user(build_regional_manager_profile(user_schema))
+    return registry
+
+
+class TestDefaultMode:
+    def test_health_reports_memory_tier(self, registry, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_WORKER_ID", raising=False)
+        service = PersonalizationService(registry)
+        block = service.health()["state_backend"]
+        assert block["kind"] == "memory"
+        assert block["worker_id"] is None
+        assert block["stores"] == {}
+
+
+class TestBackendMode:
+    @pytest.fixture()
+    def service(self, registry):
+        backend = InMemoryBackend()
+        store = BackendSessionStore(backend, namespace="portal", ttl=1800.0)
+        service = PersonalizationService(
+            registry,
+            session_store=store,
+            query_cache=BackendQueryCache(backend, namespace="portal"),
+            journal=BackendWorkloadJournal(backend, namespace="portal"),
+        )
+        store.resolver = service._rehydrate_session
+        return service
+
+    def test_health_reports_per_store_rows(self, registry, service, world):
+        token = service.login(
+            LoginRequest(
+                user="ana-garcia",
+                datamart=None,
+                location=world.stores[0].location,
+            )
+        ).token
+        service.query(token, QueryRequest(q=QUERY))
+        block = service.health()["state_backend"]
+        assert block["kind"] == "memory"
+        assert block["stores"]["portal:sessions"] == 1
+        assert block["stores"]["portal:qcache"] == 1
+        assert block["stores"]["portal:journal"] == 1
+        sessions = block["sessions"]
+        assert sessions["live"] == 1
+        assert sessions["persisted"] == 1
+        assert sessions["rehydrations"] == 0
+
+    def test_worker_id_travels_through(self, registry, service, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_ID", "3")
+        assert service.health()["state_backend"]["worker_id"] == 3
+
+    def test_health_is_served_by_the_portal(self, service):
+        """The block reaches the HTTP surface unfiltered."""
+        from repro.web import PortalApp
+
+        response = PortalApp(service=service).handle("GET", "/api/v1/health")
+        assert response.ok
+        block = response.json()["state_backend"]
+        assert set(block) >= {"kind", "stores", "worker_id"}

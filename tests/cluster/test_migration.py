@@ -1,0 +1,146 @@
+"""Cross-version migration: a live in-memory portal moves to sqlite.
+
+The satellite scenario end to end: a portal that grew up on the
+(backend-backed) in-memory tier is migrated with
+:func:`repro.cluster.migrate.migrate_backend` to a sqlite file, and a
+*freshly constructed* service — new engines, new stores, a stand-in for
+a new process — over the destination backend resumes it: the old
+session token resolves through rehydration with its selection reports
+replayed, the journal keeps its history and per-tenant generation
+counters, and the migrated query cache still answers.
+"""
+
+import pytest
+
+from repro.cluster.backend import InMemoryBackend, SqliteBackend
+from repro.cluster.migrate import migrate_backend
+from repro.cluster.stores import (
+    BackendQueryCache,
+    BackendSessionStore,
+    BackendWorkloadJournal,
+)
+from repro.data import (
+    ALL_PAPER_RULES,
+    WorldConfig,
+    WorldGeoSource,
+    build_motivating_user_model,
+    build_regional_manager_profile,
+    build_sales_star,
+    generate_world,
+)
+from repro.errors import UnauthorizedError
+from repro.personalization import PersonalizationEngine
+from repro.service import (
+    DatamartRegistry,
+    LoginRequest,
+    PersonalizationService,
+    QueryRequest,
+    SelectionRequest,
+)
+
+QUERY = "SELECT SUM(UnitSales) FROM Sales BY Product.Family"
+WIDEN_CONDITION = (
+    "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km"
+)
+
+
+def build_portal(backend):
+    """A deterministic one-tenant portal over ``backend`` with fixed
+    namespaces (the wiring the worker pool uses)."""
+    world = generate_world(WorldConfig(seed=7))
+    engine = PersonalizationEngine(
+        build_sales_star(world),
+        build_motivating_user_model(),
+        geo_source=WorldGeoSource(world),
+        parameters={"threshold": 3},
+    )
+    engine.add_rules(ALL_PAPER_RULES.values())
+    registry = DatamartRegistry()
+    sales = registry.register("sales", engine, description="paper scenario")
+    sales.register_user(build_regional_manager_profile())
+    store = BackendSessionStore(backend, namespace="portal", ttl=1800.0)
+    service = PersonalizationService(
+        registry,
+        session_store=store,
+        query_cache=BackendQueryCache(backend, namespace="portal"),
+        journal=BackendWorkloadJournal(backend, namespace="portal"),
+    )
+    store.resolver = service._rehydrate_session
+    return world, service
+
+
+class TestLivePortalMigration:
+    @pytest.fixture()
+    def migrated(self, tmp_path):
+        source = InMemoryBackend()
+        world, old_service = build_portal(source)
+        token = old_service.login(
+            LoginRequest(
+                user="ana-garcia",
+                datamart=None,
+                location=world.stores[0].location,
+            )
+        ).token
+        baseline = old_service.query(token, QueryRequest(q=QUERY))
+        old_service.record_selection(
+            token,
+            SelectionRequest(
+                target="GeoMD.Store.City", condition=WIDEN_CONDITION
+            ),
+        )
+        generation = old_service.journal.generation("sales")
+        assert generation > 0
+
+        destination = SqliteBackend(str(tmp_path / "migrated.sqlite"))
+        counts = migrate_backend(source, destination)
+        _world, new_service = build_portal(destination)
+        yield {
+            "token": token,
+            "baseline": baseline,
+            "generation": generation,
+            "counts": counts,
+            "old_service": old_service,
+            "new_service": new_service,
+        }
+        destination.close()
+
+    def test_every_store_row_copied(self, migrated):
+        counts = migrated["counts"]
+        assert counts["portal:sessions"] == 1
+        assert counts["portal:journal"] == 2  # query + selection events
+        assert counts["portal:qcache"] >= 1
+        assert counts["counters"] >= 2  # journal seq + tenant generation
+
+    def test_old_token_resolves_in_new_process(self, migrated):
+        record = migrated["new_service"].sessions.get(migrated["token"])
+        assert record.user_id == "ana-garcia"
+        assert record.datamart == "sales"
+        # The selection report was replayed into the rebuilt session.
+        assert record.meta["selections"] == [
+            ["GeoMD.Store.City", WIDEN_CONDITION]
+        ]
+        assert migrated["new_service"].sessions.stats()["rehydrations"] == 1
+
+    def test_queries_resume_with_identical_results(self, migrated):
+        result = migrated["new_service"].query(
+            migrated["token"], QueryRequest(q=QUERY)
+        )
+        assert result.rows == migrated["baseline"].rows
+        assert result.axes == migrated["baseline"].axes
+
+    def test_journal_history_and_generations_survive(self, migrated):
+        new_journal = migrated["new_service"].journal
+        assert new_journal.generation("sales") == migrated["generation"]
+        events = new_journal.events("sales", "ana-garcia")
+        assert [e.kind for e in events] == ["query", "selection"]
+        assert events[0].payload["q"] == QUERY
+        # New traffic keeps counting from the migrated counters: the
+        # recommender's generation-keyed memos stay strictly ordered.
+        new_journal.record_query("sales", "ana-garcia", "q2")
+        assert new_journal.generation("sales") == migrated["generation"] + 1
+        assert events[-1].seq < new_journal.events("sales", "ana-garcia")[-1].seq
+
+    def test_logout_in_new_process_kills_the_token(self, migrated):
+        migrated["new_service"].logout(migrated["token"])
+        with pytest.raises(UnauthorizedError):
+            migrated["new_service"].sessions.get(migrated["token"])

@@ -1,0 +1,130 @@
+"""End-to-end tests for the pre-fork worker pool.
+
+A real 2-worker pool over a shared sqlite file, driven over HTTP with
+the affinity-aware :class:`ClusterClient`: every worker answers health
+with its own worker id, a token issued by one worker resolves in the
+other (rehydration through the shared backend), and responses are
+identical to a single-process portal's.
+"""
+
+import argparse
+import http.client
+import json
+
+import pytest
+
+from repro.cli import _build_portal_app
+from repro.cluster.backend import SqliteBackend
+from repro.cluster.pool import ClusterClient, WorkerPool
+
+QUERY = "SELECT SUM(UnitSales) FROM Sales BY Product.Family"
+
+
+def _args():
+    return argparse.Namespace(
+        datamart="sales", seed=7, threshold=1000, session_ttl=1800.0
+    )
+
+
+@pytest.fixture(scope="module")
+def pool(tmp_path_factory):
+    backend = SqliteBackend(
+        str(tmp_path_factory.mktemp("pool") / "state.sqlite")
+    )
+    args = _args()
+    pool = WorkerPool(
+        lambda worker_id: _build_portal_app(args, backend=backend),
+        workers=2,
+    )
+    pool.wait_ready(timeout=120.0)
+    yield pool
+    pool.stop()
+    backend.close()
+
+
+@pytest.fixture(scope="module")
+def client(pool):
+    client = ClusterClient(pool)
+    yield client
+    client.close()
+
+
+def _shard_request(pool, worker, method, path, token=None):
+    host, port = pool.shard_addresses[worker]
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    headers = {"X-Session": token} if token else {}
+    conn.request(method, path, headers=headers)
+    response = conn.getresponse()
+    data = json.loads(response.read())
+    conn.close()
+    return response.status, data
+
+
+class TestWorkerPool:
+    def test_every_worker_reports_its_id(self, pool):
+        ids = set()
+        for worker in range(pool.workers):
+            status, health = _shard_request(
+                pool, worker, "GET", "/api/v1/health"
+            )
+            assert status == 200
+            block = health["state_backend"]
+            assert block["kind"] == "sqlite"
+            ids.add(block["worker_id"])
+        assert ids == {0, 1}
+
+    def test_all_workers_alive(self, pool):
+        assert pool.alive == pool.workers
+
+    def test_token_resolves_in_every_worker(self, pool, client):
+        status, login = client.request(
+            "POST",
+            "/api/v1/login",
+            body={"user": "ana-garcia", "datamart": "sales"},
+            datamart="sales",
+        )
+        assert status == 200
+        token = login["token"]
+        for worker in range(pool.workers):
+            status, me = _shard_request(
+                pool, worker, "GET", "/api/v1/me", token=token
+            )
+            assert status == 200
+            assert me["user_id"] == "ana-garcia"
+
+    def test_identical_query_responses_across_workers(self, pool, client):
+        status, login = client.request(
+            "POST",
+            "/api/v1/login",
+            body={"user": "ana-garcia", "datamart": "sales"},
+            datamart="sales",
+        )
+        token = login["token"]
+        rows = []
+        for worker in range(pool.workers):
+            host, port = pool.shard_addresses[worker]
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            conn.request(
+                "POST",
+                "/api/v1/query",
+                body=json.dumps({"q": QUERY}).encode(),
+                headers={
+                    "X-Session": token,
+                    "Content-Type": "application/json",
+                },
+            )
+            response = conn.getresponse()
+            data = json.loads(response.read())
+            conn.close()
+            assert response.status == 200
+            rows.append(data["rows"])
+        assert rows[0] == rows[1]
+
+    def test_ring_affinity_is_stable(self, pool, client):
+        worker = client.worker_for_tenant("sales")
+        assert worker == client.worker_for_tenant("sales")
+        assert 0 <= worker < pool.workers
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(lambda worker_id: None, workers=0)

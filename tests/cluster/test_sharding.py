@@ -1,0 +1,52 @@
+"""Tests for the tenant-affinity consistent-hash ring."""
+
+import pytest
+
+from repro.cluster.sharding import ConsistentHashRing
+
+TENANTS = [f"datamart-{i}" for i in range(64)]
+
+
+class TestConsistentHashRing:
+    def test_lookup_is_deterministic(self):
+        first = ConsistentHashRing(range(4))
+        second = ConsistentHashRing(range(4))
+        assert [first.lookup(t) for t in TENANTS] == [
+            second.lookup(t) for t in TENANTS
+        ]
+
+    def test_lookup_stays_on_the_ring(self):
+        ring = ConsistentHashRing(range(3))
+        assert {ring.lookup(t) for t in TENANTS} <= {0, 1, 2}
+
+    def test_every_node_owns_something(self):
+        ring = ConsistentHashRing(range(4))
+        assignments = ring.assignments(TENANTS)
+        assert set(assignments) == {0, 1, 2, 3}
+
+    def test_resize_remaps_a_bounded_fraction(self):
+        """The property the ring exists for: adding a worker must remap
+        only the tenants the new worker takes over — every other tenant
+        keeps its warm worker."""
+        before = ConsistentHashRing(range(4))
+        after = ConsistentHashRing(range(5))
+        moved = [t for t in TENANTS if before.lookup(t) != after.lookup(t)]
+        assert all(after.lookup(t) == 4 for t in moved)
+        assert len(moved) < len(TENANTS) / 2
+
+    def test_remove_reassigns_only_the_lost_node(self):
+        ring = ConsistentHashRing(range(4))
+        owned_by_2 = [t for t in TENANTS if ring.lookup(t) == 2]
+        others = {t: ring.lookup(t) for t in TENANTS if ring.lookup(t) != 2}
+        ring.remove(2)
+        assert len(ring) == 3
+        for tenant, owner in others.items():
+            assert ring.lookup(tenant) == owner
+        for tenant in owned_by_2:
+            assert ring.lookup(tenant) != 2
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            ConsistentHashRing().lookup("x")
+        with pytest.raises(ValueError):
+            ConsistentHashRing(replicas=0)

@@ -1,0 +1,418 @@
+"""Tests for the backend-backed two-tier stores.
+
+The contracts under test: tokens resolve in any store instance over the
+shared backend (rehydration), spilled live sessions keep valid tokens,
+expired sessions never resolve (live, cold, or mid-eviction — the TTL
+hardening satellite), query/view entries published by one instance are
+adopted by another, and the journal's sequence numbers and per-tenant
+generations are backend counters, so they stay coherent across
+instances.
+"""
+
+import pytest
+
+from repro.cluster.backend import InMemoryBackend
+from repro.cluster.stores import (
+    BackendQueryCache,
+    BackendSessionStore,
+    BackendViewStore,
+    BackendWorkloadJournal,
+)
+from repro.errors import UnauthorizedError
+from repro.service import InMemorySessionStore
+from repro.service.facade import CellSetPayload
+
+
+class StubSession:
+    def __init__(self):
+        self.closed = False
+        self.ended = 0
+
+    def end(self):
+        self.ended += 1
+        self.closed = True
+
+
+class Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return Clock()
+
+
+@pytest.fixture()
+def backend():
+    return InMemoryBackend()
+
+
+def make_store(backend, clock, resolver=None, **kwargs):
+    kwargs.setdefault("ttl", 10.0)
+    kwargs.setdefault("max_live", 4)
+    return BackendSessionStore(
+        backend, namespace="t", clock=clock, resolver=resolver, **kwargs
+    )
+
+
+class TestBackendSessionStore:
+    def test_put_get_roundtrip(self, backend, clock):
+        store = make_store(backend, clock)
+        session = StubSession()
+        record = store.put(
+            session, datamart="sales", user_id="ana", meta={"journal": True}
+        )
+        got = store.get(record.token)
+        assert got.session is session
+        assert got.datamart == "sales"
+        assert got.meta == {"journal": True}
+        assert len(store) == 1
+
+    def test_cold_token_without_resolver_is_invalid(self, backend, clock):
+        store = make_store(backend, clock, max_live=1)
+        first = store.put(StubSession(), datamart="d", user_id="u1")
+        store.put(StubSession(), datamart="d", user_id="u2")  # spills first
+        assert store.stats()["spills"] == 1
+        with pytest.raises(UnauthorizedError) as excinfo:
+            store.get(first.token)
+        assert excinfo.value.code == "invalid_session"
+
+    def test_spilled_token_rehydrates_through_resolver(self, backend, clock):
+        resolved = []
+
+        def resolver(datamart, user_id, meta):
+            resolved.append((datamart, user_id, dict(meta)))
+            return StubSession()
+
+        store = make_store(backend, clock, resolver=resolver, max_live=1)
+        original = StubSession()
+        first = store.put(
+            original, datamart="d", user_id="u1", meta={"journal": False}
+        )
+        store.put(StubSession(), datamart="d", user_id="u2")
+        assert original.ended == 1  # spill = in-heap eviction semantic
+        record = store.get(first.token)  # rehydrates
+        assert record.token == first.token
+        assert record.user_id == "u1"
+        assert record.meta == {"journal": False}
+        assert resolved == [("d", "u1", {"journal": False})]
+        assert store.stats()["rehydrations"] == 1
+
+    def test_cross_instance_resolution(self, backend, clock):
+        """A second store over the same backend+namespace (another
+        worker) resolves tokens the first one issued."""
+        first_store = make_store(backend, clock)
+        record = first_store.put(
+            StubSession(), datamart="d", user_id="u", meta={"n": 1}
+        )
+        second_store = make_store(
+            backend, clock, resolver=lambda *a: StubSession()
+        )
+        got = second_store.get(record.token)
+        assert got.user_id == "u"
+        assert got.meta == {"n": 1}
+        assert second_store.stats()["rehydrations"] == 1
+
+    def test_persist_flushes_meta_mutations(self, backend, clock):
+        store = make_store(backend, clock)
+        record = store.put(StubSession(), datamart="d", user_id="u")
+        with record.lock:
+            record.meta["selections"] = [["t", "c"]]
+            store.persist(record)
+        other = make_store(backend, clock, resolver=lambda *a: StubSession())
+        assert other.get(record.token).meta["selections"] == [["t", "c"]]
+
+    def test_remove_deletes_both_tiers(self, backend, clock):
+        store = make_store(backend, clock, resolver=lambda *a: StubSession())
+        record = store.put(StubSession(), datamart="d", user_id="u")
+        store.remove(record.token)
+        assert len(store) == 0
+        with pytest.raises(UnauthorizedError):
+            store.get(record.token)
+
+    def test_iter_yields_live_only(self, backend, clock):
+        store = make_store(backend, clock, max_live=1)
+        store.put(StubSession(), datamart="d", user_id="u1")
+        keep = store.put(StubSession(), datamart="d", user_id="u2")
+        assert [r.token for r in store] == [keep.token]
+        assert len(store) == 2  # both records persisted
+
+    def test_access_refresh_is_throttled(self, backend, clock):
+        from repro.cluster.codecs import decode_session_record
+
+        store = make_store(backend, clock, ttl=100.0)
+        record = store.put(StubSession(), datamart="d", user_id="u")
+
+        def persisted_access():
+            return decode_session_record(
+                backend.get("t:sessions", record.token)
+            )["last_access"]
+
+        clock.advance(2.0)  # < 5% of the TTL: read-only hot path
+        store.get(record.token)
+        assert persisted_access() == 0.0
+        clock.advance(4.0)  # cumulative 6s >= 5s: refresh is due
+        store.get(record.token)
+        assert persisted_access() == 6.0
+
+    def test_purge_expired_sweeps_cold_records(self, backend, clock):
+        store = make_store(backend, clock, max_live=1, ttl=10.0)
+        store.put(StubSession(), datamart="d", user_id="u1")
+        store.put(StubSession(), datamart="d", user_id="u2")
+        clock.advance(11.0)
+        store.purge_expired()
+        assert len(store) == 0
+
+    def test_constructor_validation(self, backend, clock):
+        with pytest.raises(ValueError):
+            make_store(backend, clock, ttl=0)
+        with pytest.raises(ValueError):
+            make_store(backend, clock, max_live=0)
+
+
+class TestTTLHardening:
+    """Expired-but-not-yet-evicted sessions must not resolve by token —
+    pinned for the in-heap store and both paths (live, cold) of the
+    backend store."""
+
+    @pytest.fixture(params=["memory", "backend"])
+    def store(self, request, clock, backend):
+        if request.param == "memory":
+            return InMemorySessionStore(ttl=10.0, max_sessions=8, clock=clock)
+        return make_store(
+            backend, clock, ttl=10.0, resolver=lambda *a: StubSession()
+        )
+
+    def test_expired_live_session_does_not_resolve(self, store, clock):
+        session = StubSession()
+        record = store.put(session, datamart="d", user_id="u")
+        clock.advance(10.5)  # expired, but no purge has run
+        with pytest.raises(UnauthorizedError) as excinfo:
+            store.get(record.token)
+        assert excinfo.value.code == "session_expired"
+        assert session.ended == 1
+        # And the token stays dead afterwards, on every path.
+        with pytest.raises(UnauthorizedError):
+            store.get(record.token)
+
+    def test_expired_cold_record_does_not_rehydrate(self, backend, clock):
+        """The backend-specific race: a record whose live session was
+        spilled must still honor the TTL — an available resolver must
+        not resurrect an expired record."""
+        store = make_store(
+            backend,
+            clock,
+            ttl=10.0,
+            max_live=1,
+            resolver=lambda *a: StubSession(),
+        )
+        first = store.put(StubSession(), datamart="d", user_id="u1")
+        store.put(StubSession(), datamart="d", user_id="u2")  # spills first
+        clock.advance(10.5)
+        with pytest.raises(UnauthorizedError) as excinfo:
+            store.get(first.token)
+        assert excinfo.value.code == "session_expired"
+        assert store.stats()["rehydrations"] == 0
+        # The expired record was dropped from the backend too.
+        assert backend.get("t:sessions", first.token) is None
+
+
+def _payload(value):
+    return CellSetPayload(
+        axes=("Family",),
+        labels=(("Drink",),),
+        rows=((value, 1.0),),
+        fact_rows_scanned=10,
+        fact_rows_matched=5,
+    )
+
+
+class TestBackendQueryCache:
+    def test_l1_hit(self, backend):
+        cache = BackendQueryCache(backend, namespace="t", max_size=4)
+        key = ("sales", "Q", "fp", 3)
+        assert cache.get(key) is None
+        cache.put(key, _payload("a"))
+        assert cache.get(key) == _payload("a")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_peer_instance_gets_l2_hit(self, backend):
+        first = BackendQueryCache(backend, namespace="t", max_size=4)
+        key = ("sales", "Q", "fp", 3)
+        first.put(key, _payload("a"))
+        second = BackendQueryCache(backend, namespace="t", max_size=4)
+        got = second.get(key)
+        assert got == _payload("a")
+        assert second.l2_hits == 1
+        # Promoted into the L1: the next hit is heap-speed.
+        assert second.get(key) == _payload("a")
+        assert second.l2_hits == 1
+
+    def test_namespaces_isolate(self, backend):
+        first = BackendQueryCache(backend, namespace="a", max_size=4)
+        second = BackendQueryCache(backend, namespace="b", max_size=4)
+        key = ("sales", "Q", "fp", 1)
+        first.put(key, _payload("a"))
+        assert second.get(key) is None
+
+    def test_corrupt_l2_entry_is_dropped(self, backend):
+        cache = BackendQueryCache(backend, namespace="t", max_size=4)
+        key = ("sales", "Q", "fp", 3)
+        backend.put("t:qcache", cache._key_text(key), "{corrupt")
+        assert cache.get(key) is None
+        assert backend.get("t:qcache", cache._key_text(key)) is None
+
+    def test_clear_clears_both_tiers(self, backend):
+        cache = BackendQueryCache(backend, namespace="t", max_size=4)
+        key = ("sales", "Q", "fp", 3)
+        cache.put(key, _payload("a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert backend.count("t:qcache") == 0
+
+    def test_l2_is_pruned(self, backend):
+        cache = BackendQueryCache(
+            backend, namespace="t", max_size=2, l2_max_rows=8
+        )
+        for i in range(64):  # 32-put prune cadence fires twice
+            cache.put(("d", f"q{i}", "fp", 1), _payload(i))
+        assert backend.count("t:qcache") <= 8
+        assert len(cache) <= 2  # L1 keeps ThreadSafeLRU's bound
+
+
+class TestBackendViewStore:
+    @pytest.fixture()
+    def selection(self, engine, profile, world):
+        session = engine.start_session(
+            profile, location=world.stores[0].location
+        )
+        return session.selection
+
+    def test_peer_build_is_adopted(self, backend, star, selection):
+        fact = star.fact_table().fact.name
+        first = BackendViewStore(backend, namespace="t", max_size=8)
+        built = first.get_or_build(star, star.schema, fact, selection)
+        assert first.stats()["builds"] == 1
+        assert first.stats()["l2_publishes"] == 1
+        second = BackendViewStore(backend, namespace="t", max_size=8)
+        adopted = second.get_or_build(star, star.schema, fact, selection)
+        assert second.stats()["builds"] == 0
+        assert second.stats()["l2_hits"] == 1
+        assert adopted.fact_rows == built.fact_rows
+        assert adopted.selection.fingerprint() == selection.fingerprint()
+
+    def test_l1_hit_beats_l2(self, backend, star, selection):
+        fact = star.fact_table().fact.name
+        store = BackendViewStore(backend, namespace="t", max_size=8)
+        store.get_or_build(star, star.schema, fact, selection)
+        store.get_or_build(star, star.schema, fact, selection)
+        stats = store.stats()
+        assert stats["builds"] == 1
+        assert stats["hits"] == 1
+        assert stats["l2_hits"] == 0
+
+    def test_invalidate_clears_published_entries(self, backend, star, selection):
+        fact = star.fact_table().fact.name
+        store = BackendViewStore(backend, namespace="t", max_size=8)
+        store.get_or_build(star, star.schema, fact, selection)
+        assert backend.count("t:views") == 1
+        store.invalidate()
+        assert backend.count("t:views") == 0
+        assert store.stats()["entries"] == 0
+
+    def test_stale_generation_is_unreachable(self, backend, star, selection):
+        """A peer's entry for an older star state is never adopted — the
+        generation in the key is the invalidation protocol."""
+        fact = star.fact_table().fact.name
+        first = BackendViewStore(backend, namespace="t", max_size=8)
+        first.get_or_build(star, star.schema, fact, selection)
+        star.note_member_change("Store")  # bump the generation
+        second = BackendViewStore(backend, namespace="t", max_size=8)
+        second.get_or_build(star, star.schema, fact, selection)
+        assert second.stats()["l2_hits"] == 0
+        assert second.stats()["builds"] == 1
+
+
+class TestBackendWorkloadJournal:
+    def test_round_trip_in_order(self, backend):
+        journal = BackendWorkloadJournal(backend, namespace="t")
+        journal.record_query("sales", "ana", "  SELECT X  ")
+        journal.record_layer("sales", "ana", "airports")
+        journal.record_selection(
+            "sales", "ana", "GeoMD.Store.City", "cond",
+            members=[("Store", "City", "madrid")],
+        )
+        events = journal.events("sales", "ana")
+        assert [e.kind for e in events] == ["query", "layer", "selection"]
+        assert events[0].payload["q"] == "SELECT X"
+        assert events[2].payload["members"] == (("Store", "City", "madrid"),)
+        assert journal.queries("sales", "ana") == ["SELECT X"]
+        assert journal.layers("sales", "ana") == {"airports"}
+        assert journal.member_profile("sales", "ana") == {
+            ("Store", "City"): {"madrid"}
+        }
+
+    def test_generations_are_per_tenant(self, backend):
+        journal = BackendWorkloadJournal(backend, namespace="t")
+        assert journal.generation("sales") == 0
+        journal.record_query("sales", "ana", "q1")
+        journal.record_query("sales", "bo", "q2")
+        journal.record_query("twin", "ana", "q3")
+        assert journal.generation("sales") == 2
+        assert journal.generation("twin") == 1
+
+    def test_cross_instance_history(self, backend):
+        """Another worker's journal over the same namespace appends to
+        the same history with globally unique sequence numbers."""
+        first = BackendWorkloadJournal(backend, namespace="t")
+        second = BackendWorkloadJournal(backend, namespace="t")
+        e1 = first.record_query("sales", "ana", "q1")
+        e2 = second.record_query("sales", "ana", "q2")
+        assert e2.seq > e1.seq
+        assert [e.payload["q"] for e in first.events("sales", "ana")] == [
+            "q1",
+            "q2",
+        ]
+        assert second.generation("sales") == 2
+
+    def test_per_user_cap_drops_oldest(self, backend):
+        journal = BackendWorkloadJournal(
+            backend, namespace="t", max_events_per_user=3
+        )
+        for i in range(5):
+            journal.record_query("sales", "ana", f"q{i}")
+        assert journal.queries("sales", "ana") == ["q2", "q3", "q4"]
+        assert len(journal) == 3
+
+    def test_users_and_stats(self, backend):
+        journal = BackendWorkloadJournal(backend, namespace="t")
+        journal.record_query("sales", "ana", "q")
+        journal.record_query("sales", "bo", "q")
+        journal.record_layer("twin", "carla", "rivers")
+        assert journal.users("sales") == ["ana", "bo"]
+        stats = journal.stats()
+        assert stats["sales"] == {"users": 2, "events": 2, "generation": 2}
+        assert stats["twin"] == {"users": 1, "events": 1, "generation": 1}
+
+    def test_corrupt_event_degrades_not_raises(self, backend):
+        journal = BackendWorkloadJournal(backend, namespace="t")
+        journal.record_query("sales", "ana", "good")
+        backend.put("t:journal", "sales\x1fana\x1f9999999999999999", "{bad")
+        assert [e.payload["q"] for e in journal.events("sales", "ana")] == [
+            "good"
+        ]
+
+    def test_unknown_kind_rejected(self, backend):
+        journal = BackendWorkloadJournal(backend, namespace="t")
+        with pytest.raises(ValueError):
+            journal.record("sales", "ana", "clicks")
+        with pytest.raises(ValueError):
+            BackendWorkloadJournal(backend, namespace="t", max_events_per_user=0)

@@ -257,7 +257,13 @@ class TestConfiguration:
         for q in queries:
             service.query(token, QueryRequest(q=q))
         assert len(service._query_cache) == 2
-        # The oldest entry was evicted: querying it again is a miss.
         misses = service.query_cache_misses
         service.query(token, QueryRequest(q=queries[0]))
-        assert service.query_cache_misses == misses + 1
+        if hasattr(service._query_cache, "backend"):
+            # Backend-backed cache (REPRO_BACKEND=sqlite): the L1 evicted
+            # the oldest entry but the shared L2 retained it, so the
+            # re-query is a decode hit rather than a rebuild.
+            assert service.query_cache_misses == misses
+        else:
+            # The oldest entry was evicted: querying it again is a miss.
+            assert service.query_cache_misses == misses + 1
