@@ -48,9 +48,22 @@ The EXT7 mix exercises the PR 8 stateless serving tier:
   are replayed against a single-process in-memory portal and both pool
   topologies, and every response body must be identical.
 
+The EXT8 mix exercises the PR 9 mutation log:
+
+* ``ext8_mutation_churn`` — a steady request stream (views, a spatial
+  DISTANCE query, a non-spatial rollup) over a 100x world while members
+  and features mutate every step (and a fact row drawn from inside the
+  personalized view every 8th), run in the
+  typed-delta mode (views patched, roll-up caches extended in place,
+  stamped query cache kept warm) and in full-invalidation mode
+  (``view_store.incremental = False`` plus a blanket
+  ``note_*_change`` per mutation).  Both modes must answer
+  bit-identically before timing.
+
 ``--scale`` picks the world size tier; the tier and the resulting fact
 row count are recorded in the JSON artefact so BENCH_*.json entries
-carry their scale and EXT6's cardinality multiplier is reproducible.
+carry their scale and EXT6's/EXT8's cardinality multiplier is
+reproducible.
 
 Usage::
 
@@ -641,6 +654,172 @@ def _ext7_pool_mode(scale: str, workers: int, rounds: int, gate_rounds: int):
         shutil.rmtree(state_dir, ignore_errors=True)
 
 
+# -- EXT8: mutation churn — typed-delta propagation vs full invalidation -----
+#
+# The PR 9 tentpole turned every star change into a typed mutation whose
+# delta the downstream tiers *patch* through: the shared view store
+# extends live views in place, the star's roll-up translations and
+# envelope grids survive additive member/feature churn, and the
+# stamped query cache only drops entries whose per-kind generation
+# stamps actually moved.  EXT8 measures that against the pre-delta
+# semantics: ``view_store.incremental = False`` plus a blanket
+# ``note_member_change``/``note_feature_change`` after every mutation —
+# the one-size-fits-all invalidation every mutation used to be.
+#
+# The mix: a steady request stream per step — 4 views, one spatial
+# DISTANCE query against the rule-added Airport layer (the paper's
+# personalized spatial analysis, the expensive recompute), one
+# non-spatial rollup — over a world whose fact table is 100x the scale
+# tier's cardinality (10x under ``--smoke``), while every step adds a
+# member and a feature and every 8th step appends a fact row drawn from
+# *inside* the personalized view (so the answers provably move).  The
+# per-kind stamps keep both queries warm through the member/feature
+# churn (the Airport layer and the fact table are untouched); the
+# blanket mode stales every stamp every step, so the spatial join
+# recomputes each time — exactly the pre-delta behaviour.  Before
+# timing, both modes replay an identical sequence on fresh portals and
+# every response body must be identical — patching is only a win if it
+# is indistinguishable from recomputing.
+
+EXT8_VIEWS_PER_STEP = 4
+EXT8_SPATIAL_QUERY = (
+    "SELECT SUM(UnitSales) FROM Sales BY Store.City "
+    "WHERE DISTANCE(Store, LAYER Airport) < 100 KM"
+)
+
+
+def _ext8_build(scale: str, multiplier: int):
+    """A single-tenant portal over a ``multiplier``-scaled world."""
+    base = SCALES[scale]
+    config = dataclasses.replace(base, sales=base.sales * multiplier)
+    world = generate_world(config)
+    star = build_sales_star(world)
+    engine = PersonalizationEngine(
+        star,
+        build_motivating_user_model(),
+        geo_source=WorldGeoSource(world),
+        parameters={"threshold": THRESHOLD},
+    )
+    engine.add_rules(ALL_PAPER_RULES.values())
+    profile = build_regional_manager_profile(build_motivating_user_model())
+    app = PortalApp(engine, datamart_name="sales")
+    app.register_user(profile)
+    return world, star, engine, profile, app
+
+
+def _ext8_setup(bundle, full_invalidation: bool) -> dict:
+    """Log in, pin a fact-row template inside the view, add the churn
+    layer; in full-invalidation mode also flip the store to blanket
+    invalidation and detach the history (the pre-delta tier kept none)."""
+    from repro.geomd import GeometricType
+
+    world, star, engine, profile, app = bundle
+    if full_invalidation:
+        engine.view_store.incremental = False
+        if star.history is not None:
+            star.history.detach()
+    token = login(app, profile, world)
+    session = engine.start_session(profile, location=world.stores[0].location)
+    fact_table = star.fact_table()
+    template = fact_table.row(session.view().fact_rows[0])
+    star.schema.add_layer("Harbour", GeometricType.POINT)
+    star.ensure_layer_table("Harbour")
+    return {
+        "app": app,
+        "star": star,
+        "engine": engine,
+        "token": token,
+        "fact": fact_table.fact.name,
+        "coordinates": {
+            d: template[d] for d in fact_table.fact.dimension_names
+        },
+        "measures": {m: template[m] for m in fact_table.fact.measures},
+        "full": full_invalidation,
+    }
+
+
+def _ext8_churn(state: dict, steps: int) -> list:
+    """Replay the churn mix once, returning the response bodies."""
+    from repro.geometry import Point
+
+    app, star, token = state["app"], state["star"], state["token"]
+    query_bodies = (
+        {"q": EXT8_SPATIAL_QUERY, "limit": 10},
+        {"q": QUERY, "limit": 10},
+    )
+    bodies = []
+    for step in range(steps):
+        star.add_member("Product", "Family", f"Family-{step}")
+        star.add_feature("Harbour", f"Pier {step}", Point(3.0, float(step)))
+        if step % 8 == 7:
+            star.insert_fact(
+                state["fact"], state["coordinates"], state["measures"]
+            )
+        if state["full"]:
+            # Pre-PR9 blanket semantics for the two mutated targets: a
+            # member mutation dropped the dimension's roll-up indexes,
+            # translations and grids; a feature mutation dropped the
+            # layer grid; and the bumped per-kind generations stale
+            # every query-cache stamp over the fact (a Sales answer
+            # depends on every Sales dimension).
+            star.note_member_change("Product", op="update")
+            star.note_feature_change("Harbour")
+        step_bodies = []
+        for _ in range(EXT8_VIEWS_PER_STEP):
+            response = app.handle("GET", "/api/v1/view", token=token)
+            assert response.ok, response.body
+            step_bodies.append(response.json())
+        for query_body in query_bodies:
+            response = app.handle(
+                "POST", "/api/v1/query", query_body, token=token
+            )
+            assert response.ok, response.body
+            step_bodies.append(response.json())
+        bodies.append(step_bodies)
+    return bodies
+
+
+def bench_ext8(scale: str, rounds: int, multiplier: int) -> dict:
+    """Mutation churn: typed-delta patching vs blanket invalidation."""
+    steps = max(rounds // 50, 8)
+    gate_steps = min(steps, 12)
+
+    # Identical-response gate on fresh portals (the mix mutates the star,
+    # so the two modes each replay the same sequence from the same seed).
+    gate = {}
+    for label, full in (("patched", False), ("full_invalidation", True)):
+        state = _ext8_setup(_ext8_build(scale, multiplier), full)
+        gate[label] = _ext8_churn(state, gate_steps)
+    assert gate["patched"] == gate["full_invalidation"], (
+        "ext8_mutation_churn: patched responses differ from full invalidation"
+    )
+
+    requests = steps * (EXT8_VIEWS_PER_STEP + 2)
+    result: dict = {"fact_multiplier": multiplier, "rounds": steps}
+    for label, full in (("full_invalidation", True), ("patched", False)):
+        state = _ext8_setup(_ext8_build(scale, multiplier), full)
+        engine, app = state["engine"], state["app"]
+        result.setdefault("fact_rows", len(state["star"].fact_table()))
+        store_before = engine.view_store.stats()
+        hits_before = app.service.query_cache_hits
+        started = time.perf_counter()
+        _ext8_churn(state, steps)
+        elapsed = time.perf_counter() - started
+        store_after = engine.view_store.stats()
+        result[f"{label}_req_per_s"] = round(requests / elapsed, 1)
+        result[f"{label}_view_store"] = {
+            key: store_after[key] - store_before.get(key, 0)
+            for key in ("builds", "patches", "carries", "invalidations")
+        }
+        result[f"{label}_query_cache_hits"] = (
+            app.service.query_cache_hits - hits_before
+        )
+    result["speedup"] = round(
+        result["patched_req_per_s"] / result["full_invalidation_req_per_s"], 2
+    )
+    return result
+
+
 def bench_ext7(scale: str, rounds: int) -> dict:
     """Worker-pool scaling on the steady-state mix (ISSUE 8 tentpole)."""
     gate_rounds = 2
@@ -722,7 +901,7 @@ def run(
         assert uncached == cached, f"{name}: cached response differs"
 
     results: dict = {
-        "series": "EXT3+EXT4+EXT5+EXT6+EXT7",
+        "series": "EXT3+EXT4+EXT5+EXT6+EXT7+EXT8",
         "scale": scale,
         "fact_rows": len(star.fact_table()),
         "rounds": per_mix_rounds,
@@ -805,6 +984,19 @@ def run(
         f"{ext7['workers_2_rehydrations']})"
     )
 
+    results["mixes"]["ext8_mutation_churn"] = ext8 = bench_ext8(
+        scale, rounds, ext6_multiplier
+    )
+    results["rounds"]["ext8_mutation_churn"] = ext8.pop("rounds")
+    print(
+        f"[ext8_mutation_churn] {ext8['fact_rows']:,} rows "
+        f"(x{ext8['fact_multiplier']}): full invalidation "
+        f"{ext8['full_invalidation_req_per_s']:,.0f} -> patched "
+        f"{ext8['patched_req_per_s']:,.0f} req/s "
+        f"({ext8['speedup']:.1f}x), patched view store "
+        f"{ext8['patched_view_store']}"
+    )
+
     if out_path:
         Path(out_path).write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {out_path}")
@@ -880,6 +1072,27 @@ def main() -> int:
             f"FAIL: EXT7 speedup {ext7['speedup_2w_vs_1w']}x < 1.7x",
             file=sys.stderr,
         )
+        return 1
+    # The PR 9 bars: (a) structural — under member/feature/fact churn the
+    # typed-delta mode must serve every view from patches/carries with
+    # zero rebuilds and zero invalidations (the identical-response gate
+    # inside bench_ext8 always runs); (b) timing — patching must be
+    # >= 3x blanket invalidation at 100x cardinality (skipped in smoke
+    # mode, where the multiplier is too small to be meaningful).
+    ext8 = results["mixes"]["ext8_mutation_churn"]
+    ext8_store = ext8["patched_view_store"]
+    if (
+        ext8_store["builds"] > 0
+        or ext8_store["invalidations"] > 0
+        or ext8_store["patches"] < 1
+    ):
+        print(
+            f"FAIL: EXT8 churn did not avoid rebuilds: {ext8_store}",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.smoke and ext8["speedup"] < 3.0:
+        print(f"FAIL: EXT8 speedup {ext8['speedup']}x < 3x", file=sys.stderr)
         return 1
     return 0
 

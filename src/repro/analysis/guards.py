@@ -27,7 +27,9 @@ from repro.analysis.core import ModuleSource
 
 __all__ = ["ClassInfo", "collect_classes"]
 
-_CACHE_NAME_RE = re.compile(r"(memo|cache|translation)", re.IGNORECASE)
+_CACHE_NAME_RE = re.compile(
+    r"(memo|cache|translation|checkpoint|history)", re.IGNORECASE
+)
 _LOCK_FACTORY_NAMES = {"Lock", "RLock", "make_lock", "make_rlock"}
 _DICTISH_CALL_NAMES = {"dict", "OrderedDict", "defaultdict", "WeakValueDictionary"}
 

@@ -212,12 +212,20 @@ class GenKeyRule:
                     and _is_self_attr(func.value, info.caches)
                     and node.args
                 ):
-                    if not self._has_generation(node.args[0], assignments):
+                    key_ok = self._has_generation(node.args[0], assignments)
+                    # Stamped-value idiom (mirrors the subscript-store
+                    # branch below): the key is a plain identity and the
+                    # stored value carries the generation stamps that are
+                    # revalidated on read — that protocol also passes.
+                    value_ok = len(node.args) > 1 and self._has_generation(
+                        node.args[1], assignments
+                    )
+                    if not key_ok and not value_ok:
                         yield module.violation(
                             self.id,
                             node,
-                            f"insertion into self.{func.value.attr} keyed "  # type: ignore[union-attr]
-                            "without a generation component "
+                            f"insertion into self.{func.value.attr} whose "  # type: ignore[union-attr]
+                            "key and value carry no generation component "
                             "(star/selection/journal generation)",
                         )
             elif isinstance(node, ast.Assign):
@@ -315,6 +323,17 @@ class FrozenPayloadRule:
         self, index: ProjectIndex, func: ast.FunctionDef
     ) -> dict[str, str]:
         out: dict[str, str] = {}
+        # Parameters annotated with a frozen class are frozen too — this
+        # is how mutation-log consumers receive StarMutation payloads.
+        arguments = func.args
+        for arg in (
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ):
+            name = self._annotation_name(arg.annotation)
+            if name in index.frozen_classes:
+                out[arg.arg] = name
         for node in ast.walk(func):
             if isinstance(node, ast.Assign) and isinstance(
                 node.value, ast.Call
@@ -329,7 +348,27 @@ class FrozenPayloadRule:
                     for target in node.targets:
                         if isinstance(target, ast.Name):
                             out[target.id] = name
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                name = self._annotation_name(node.annotation)
+                if name in index.frozen_classes:
+                    out[node.target.id] = name
         return out
+
+    @staticmethod
+    def _annotation_name(annotation: ast.expr | None) -> str | None:
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            return annotation.value.rsplit(".", 1)[-1]
+        if isinstance(annotation, ast.Name):
+            return annotation.id
+        if isinstance(annotation, ast.Attribute):
+            return annotation.attr
+        return None
 
     def _frozen_base(
         self,

@@ -49,15 +49,18 @@ from repro.cluster.backend import StateBackend
 from repro.cluster.codecs import (
     CodecError,
     decode_journal_event,
+    decode_mutation_event,
     decode_query_payload,
     decode_session_record,
     decode_view_entry,
     encode_journal_event,
+    encode_mutation_event,
     encode_query_payload,
     encode_session_record,
     encode_view_entry,
 )
 from repro.personalization.view_store import ViewStore
+from repro.storage.star import MutationLog, StarMutation
 from repro.service.sessions import (
     SessionRecord,
     SessionStore,
@@ -70,6 +73,7 @@ __all__ = [
     "BackendQueryCache",
     "BackendViewStore",
     "BackendWorkloadJournal",
+    "BackendMutationLog",
 ]
 
 #: Separates key components (tenant/user ids must not contain it).
@@ -357,11 +361,12 @@ class BackendQueryCache:
     """Shared query-result cache: ThreadSafeLRU-compatible facade over
     an L1 LRU of live payloads and the backend's encoded entries.
 
-    Keys are the façade's generation-stamped tuples ``(datamart, query
-    text, selection fingerprint, star generation)`` — the generation
-    component is the invalidation protocol, in-process and across
-    workers alike.  The L2 is pruned by write age (stale generations
-    stop being read long before they are dropped).
+    Keys are the façade's tuples ``(datamart, query text, selection
+    fingerprint, as_of)``; freshness is the *stored payload's*
+    per-dimension generation stamps, which the façade revalidates on
+    every hit — in-process and across workers alike (a stale entry is
+    simply rebuilt and overwritten under the same key).  The L2 is
+    pruned by write age.
     """
 
     def __init__(
@@ -549,6 +554,94 @@ class BackendViewStore(ViewStore):
         out = super().stats()
         out["l2_hits"] = self.l2_hits
         out["l2_publishes"] = self.l2_publishes
+        out["persisted"] = self.backend.count(self._store)
+        return out
+
+
+class BackendMutationLog(MutationLog):
+    """Shared mutation log: the in-heap bounded log plus a backend L2.
+
+    Every appended delta is also published as a versioned mutation
+    event keyed by its generation, so a peer worker (or this worker
+    after a restart) can fetch exactly the ``(start, end]`` window it
+    missed and *replay typed deltas* — member adds, feature adds,
+    schema patches, fact appends — instead of reloading full state.
+    ``fetch`` is strict, mirroring every other codec consumer: a gap,
+    a corrupt row or a version-skewed row is a miss (``None``) and the
+    caller falls back to a full rebuild.
+    """
+
+    def __init__(
+        self,
+        backend: StateBackend,
+        *,
+        namespace: str,
+        max_entries: int = 4096,
+        l2_max_rows: int | None = None,
+    ) -> None:
+        super().__init__(max_entries=max_entries)
+        self.backend = backend
+        self.namespace = namespace
+        self._store = f"{namespace}:mutations"
+        self.l2_max_rows = l2_max_rows or 4 * max_entries
+        self.l2_publishes = 0
+        self.l2_misses = 0
+
+    @classmethod
+    def adopt(cls, star, backend: StateBackend, *, namespace: str):
+        """Swap ``star``'s in-heap log for a backend-backed one, carrying
+        the already-retained entries (published so peers see them too)."""
+        log = cls(
+            backend,
+            namespace=namespace,
+            max_entries=star.mutation_log.max_entries,
+        )
+        for mutation in star.mutation_log.entries():
+            log.append(mutation)
+        star.mutation_log = log
+        return log
+
+    def _key_text(self, generation: int) -> str:
+        # Zero-padded so backend key order is generation order.
+        return f"{generation:012d}"
+
+    def append(self, mutation: StarMutation) -> None:
+        super().append(mutation)
+        self.backend.put(
+            self._store,
+            self._key_text(mutation.generation),
+            encode_mutation_event(mutation),
+        )
+        self.l2_publishes += 1
+        if self.l2_publishes % 32 == 0:
+            self.backend.prune(self._store, self.l2_max_rows)
+
+    def fetch(self, start: int, end: int) -> list[StarMutation] | None:
+        """The published window ``start < generation <= end``, decoded.
+
+        Returns ``None`` when any row of the window is absent, corrupt
+        or version-skewed — the delta chain is broken and replay would
+        silently skip a change, so the caller must rebuild instead.
+        Poisoned rows are deleted on the way out.
+        """
+        out: list[StarMutation] = []
+        for generation in range(start + 1, end + 1):
+            encoded = self.backend.get(self._store, self._key_text(generation))
+            if encoded is None:
+                self.l2_misses += 1
+                return None
+            try:
+                out.append(decode_mutation_event(encoded))
+            except CodecError:
+                self.backend.delete(self._store, self._key_text(generation))
+                self.l2_misses += 1
+                return None
+        return out
+
+    def stats(self) -> dict[str, object]:
+        out = super().stats()
+        out["l2_publishes"] = self.l2_publishes
+        out["l2_misses"] = self.l2_misses
         out["persisted"] = self.backend.count(self._store)
         return out
 

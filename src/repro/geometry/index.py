@@ -63,49 +63,84 @@ class EnvelopeColumns(Generic[T]):
     it is a drop-in replacement for :meth:`GridIndex.query_envelope`.
     """
 
-    __slots__ = ("_items", "_min_x", "_min_y", "_max_x", "_max_y")
+    # One tuple of (items, min_x, min_y, max_x, max_y): readers snapshot
+    # it with a single attribute load, and extend() rebinds it atomically
+    # so a query racing an append sees a consistent (old or new) version.
+    __slots__ = ("_columns",)
 
     def __init__(self, entries: Sequence[tuple[Geometry, T]]) -> None:
         if not entries:
             raise GeometryError("cannot build an index over zero entries")
-        self._items: list[T] = []
-        self._min_x = array("d")
-        self._min_y = array("d")
-        self._max_x = array("d")
-        self._max_y = array("d")
+        self._columns = self._build((), array("d"), array("d"), array("d"), array("d"), entries)
+
+    @staticmethod
+    def _build(
+        items: Sequence[T],
+        min_x: array,
+        min_y: array,
+        max_x: array,
+        max_y: array,
+        entries: Sequence[tuple[Geometry, T]],
+    ) -> tuple:
+        out_items = list(items)
         for geom, item in entries:
             env = geom.envelope
-            self._items.append(item)
-            self._min_x.append(env.min_x)
-            self._min_y.append(env.min_y)
-            self._max_x.append(env.max_x)
-            self._max_y.append(env.max_y)
+            out_items.append(item)
+            min_x.append(env.min_x)
+            min_y.append(env.min_y)
+            max_x.append(env.max_x)
+            max_y.append(env.max_y)
+        return (out_items, min_x, min_y, max_x, max_y)
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._columns[0])
+
+    def extend(self, entries: Sequence[tuple[Geometry, T]]) -> None:
+        """Append entries (the feature-delta patch path).
+
+        Layers are append-only, so a built index absorbs new features
+        without a full rebuild.  Copy-on-write: the coordinate columns
+        are copied (a memcpy of doubles), extended, and swapped in with
+        one atomic attribute rebind — concurrent readers (including the
+        numpy path, which exports the arrays' buffers) keep answering
+        over the version they snapshotted.  Callers must serialize
+        ``extend`` against each other; the star does so under its cache
+        lock.
+        """
+        if not entries:
+            return
+        items, min_x, min_y, max_x, max_y = self._columns
+        self._columns = self._build(
+            items,
+            array("d", min_x),
+            array("d", min_y),
+            array("d", max_x),
+            array("d", max_y),
+            entries,
+        )
 
     def query_envelope(self, env: Envelope) -> list[T]:
         """Items whose envelope intersects ``env`` (candidate set)."""
         qmin_x, qmin_y = env.min_x, env.min_y
         qmax_x, qmax_y = env.max_x, env.max_y
+        items, col_min_x, col_min_y, col_max_x, col_max_y = self._columns
         np = numpy_backend()
         if np is not None:
-            min_x = np.frombuffer(self._min_x, dtype=np.float64)
-            min_y = np.frombuffer(self._min_y, dtype=np.float64)
-            max_x = np.frombuffer(self._max_x, dtype=np.float64)
-            max_y = np.frombuffer(self._max_y, dtype=np.float64)
+            min_x = np.frombuffer(col_min_x, dtype=np.float64)
+            min_y = np.frombuffer(col_min_y, dtype=np.float64)
+            max_x = np.frombuffer(col_max_x, dtype=np.float64)
+            max_y = np.frombuffer(col_max_y, dtype=np.float64)
             hits = (
                 (max_x >= qmin_x)
                 & (min_x <= qmax_x)
                 & (max_y >= qmin_y)
                 & (min_y <= qmax_y)
             )
-            items = self._items
             return [items[i] for i in np.flatnonzero(hits).tolist()]
         return [
             item
             for item, imin_x, imin_y, imax_x, imax_y in zip(
-                self._items, self._min_x, self._min_y, self._max_x, self._max_y
+                items, col_min_x, col_min_y, col_max_x, col_max_y
             )
             if imax_x >= qmin_x
             and imin_x <= qmax_x

@@ -781,11 +781,44 @@ def _execute_vectorized(star, query, selection, fact, fact_table, group_levels, 
     )
 
 
+def _resolve_as_of(
+    star: StarSchema,
+    query: CubeQuery,
+    selection: Iterable[int] | None,
+    as_of: int,
+) -> tuple[StarSchema, Iterable[int] | None]:
+    """Swap in the historical star (and clamp the selection) for ``as_of``.
+
+    The query must run against the *reconstructed* star — spatial
+    filters read layer tables and member geometries live, so merely
+    restricting row ids over the current star would leak future
+    metadata.  The selection row ids are clamped to the historical fact
+    prefix: fact tables are append-only, so the prefix that existed at
+    generation ``g`` is exactly ``row_id < len(historical table)``.
+    """
+    from repro.storage.snapshot import HistoryError
+
+    history = star.history
+    if history is None:
+        raise HistoryError(
+            "star keeps no history; attach a StarHistory (engines do so "
+            "by default) to serve as_of reads"
+        )
+    historical = history.as_of(as_of)
+    if historical is star:
+        return star, selection
+    if selection is not None:
+        limit = len(historical.fact_table(query.fact))
+        selection = [row_id for row_id in selection if row_id < limit]
+    return historical, selection
+
+
 def execute(
     star: StarSchema,
     query: CubeQuery,
     selection: Iterable[int] | None = None,
     metric: Metric | None = None,
+    as_of: int | None = None,
 ) -> CellSet:
     """Run a cube query.
 
@@ -794,11 +827,19 @@ def execute(
     ordinary, *non-spatial* downstream queries, the scenario of
     Section 4.2.4 of the paper.
 
+    ``as_of`` answers against a past star generation: the star's
+    attached :class:`~repro.storage.snapshot.StarHistory` reconstructs
+    the generation from checkpoint + mutation-log replay and the query
+    runs against that star (with ``selection`` clamped to the historical
+    fact prefix) — bit-identical to the answer the live star gave then.
+
     Dispatches to the columnar batch executor unless the star's
     ``use_vectorized`` transparency switch is off, in which case the
     row-loop reference path runs (see :func:`execute_reference`); the
     two produce bit-identical cell sets.
     """
+    if as_of is not None:
+        star, selection = _resolve_as_of(star, query, selection, as_of)
     prep = _prepare(star, query, metric)
     if star.use_vectorized:
         return _execute_vectorized(star, query, selection, *prep)
@@ -810,6 +851,7 @@ def execute_reference(
     query: CubeQuery,
     selection: Iterable[int] | None = None,
     metric: Metric | None = None,
+    as_of: int | None = None,
 ) -> CellSet:
     """Run a cube query on the row-loop reference executor, always.
 
@@ -817,5 +859,7 @@ def execute_reference(
     equivalence property tests: one :meth:`StarSchema.rollup_member`
     call per row, streaming :class:`_Accumulator` per group.
     """
+    if as_of is not None:
+        star, selection = _resolve_as_of(star, query, selection, as_of)
     prep = _prepare(star, query, metric)
     return _execute_rowloop(star, query, selection, *prep)

@@ -303,6 +303,7 @@ class PersonalizationEngine:
         view_store_size: int = 128,
         incremental_views: bool = True,
         view_store: ViewStore | None = None,
+        enable_history: bool = True,
     ) -> None:
         schema = star.schema
         if not isinstance(schema, GeoMDSchema):
@@ -345,6 +346,16 @@ class PersonalizationEngine:
             self.view_store = None
         if self.view_store is not None:
             star.add_mutation_listener(self._on_star_mutation)
+        #: Generation time travel: checkpoints + mutation-log replay so
+        #: ``execute(..., as_of=g)`` answers against a past generation.
+        #: One history per star — a second engine over the same star
+        #: reuses the existing attachment.
+        if enable_history:
+            from repro.storage.snapshot import StarHistory
+
+            self.history = StarHistory.attach(star)
+        else:
+            self.history = star.history
         self.rules: list[RegisteredRule] = []
         #: Hook points for service layers: a custom session class and
         #: observers fired after SessionStart rules have run (used e.g.
@@ -362,8 +373,9 @@ class PersonalizationEngine:
         """Maintain the shared view store on every star mutation.
 
         Fact appends carry a typed delta and are patched incrementally;
-        member/feature/schema mutations have no delta shape and fall back
-        to full invalidation (next ``view()`` rebuilds on demand).
+        member/feature/schema mutations dispatch on their delta payload
+        (carry, patch, or — for in-place member updates on referenced
+        dimensions — drop; see :meth:`ViewStore.on_mutation`).
         """
         store = self.view_store
         if store is not None:

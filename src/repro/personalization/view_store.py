@@ -20,8 +20,16 @@ related work describes):
   delta rows are filtered through the view's selection and the survivors
   appended.  Views over other fact tables of a multi-fact star are
   carried to the new generation untouched.  Member/feature/schema
-  mutations have no delta shape, so they keep the PR 2 fallback: full
-  invalidation, rebuild on next demand.
+  mutations now dispatch on their delta too: a view's ``fact_rows``
+  depend only on member *existence and parent links* of the dimensions
+  its selection references (never on features, layers or member
+  attributes), so feature mutations and schema patches carry every
+  entry, a member mutation carries the entries whose selection does not
+  reference the mutated dimension (the PR 9 bugfix — these used to be
+  thrown away), a member *add* inside a referenced dimension carries the
+  entry and re-derives its patch filter (a new leaf cannot be referenced
+  by any existing fact row), and only a member *update* inside a
+  referenced dimension still drops the entry.
 * **Bounds and transparency** — the store is LRU-bounded (``max_size``)
   and thread-safe; ``PersonalizationEngine(view_store_size=0)`` removes
   it entirely (sessions fall back to their private memo + rebuilds) and
@@ -59,11 +67,13 @@ class _Entry:
     """One stored view plus its lazily-resolved patch filter.
 
     ``relevant`` caches ``selection.relevant_leaf_keys`` (the projected
-    row filter) the first time the entry is patched: only member/feature/
-    schema mutations could change it and those invalidate the whole
-    store, so within an entry's lifetime the projection is immutable and
-    appends pay plain set-membership checks instead of re-resolving
-    roll-ups per insert.
+    row filter) the first time the entry is patched.  The projection
+    depends only on the members of the dimensions the selection
+    references: mutations that could change it either drop the entry
+    (member update in a referenced dimension) or reset the cache to
+    ``None`` (member add in a referenced dimension — a new leaf under a
+    selected ancestor joins the filter), so appends pay plain
+    set-membership checks instead of re-resolving roll-ups per insert.
     """
 
     __slots__ = ("view", "relevant")
@@ -71,6 +81,12 @@ class _Entry:
     def __init__(self, view: "PersonalizedView") -> None:
         self.view = view
         self.relevant: dict[str, set[str]] | None = None
+
+    def references_dimension(self, dimension: str) -> bool:
+        """Whether the view's selection constrains ``dimension``."""
+        return any(
+            dim == dimension for dim, _level in self.view.selection.members
+        )
 
 
 class ViewStore:
@@ -165,11 +181,72 @@ class ViewStore:
     # -- maintenance ----------------------------------------------------------
 
     def on_mutation(self, star: StarSchema, mutation: StarMutation) -> None:
-        """React to one star mutation (the engine's listener target)."""
-        if mutation.is_fact_delta and self.incremental:
+        """React to one star mutation (the engine's listener target).
+
+        With ``incremental`` off every kind degrades to full
+        invalidation — the transparency mode EXT8 benchmarks against.
+        """
+        if not self.incremental:
+            self.invalidate()
+            return
+        if mutation.is_fact_delta:
             self._apply_fact_delta(star, mutation)
+        elif mutation.kind == "member" and mutation.dimension is not None:
+            self._apply_member_mutation(mutation)
+        elif mutation.kind == "feature":
+            # Layers are append-only and a view's fact_rows never depend
+            # on features — every entry survives as-is.
+            self._carry_all(mutation)
+        elif mutation.kind == "schema" and mutation.is_schema_patch:
+            # AddLayer / BecomeSpatial change the schema, not membership;
+            # row sets are unaffected (a geometry backfill arrives as a
+            # separate member-update mutation and is handled above).
+            self._carry_all(mutation)
         else:
             self.invalidate()
+
+    def _apply_member_mutation(self, mutation: StarMutation) -> None:
+        """Scope a member mutation to the entries it can actually affect.
+
+        Entries whose selection does not reference the mutated dimension
+        carry to the new generation untouched (their row filter cannot
+        mention it).  Member *adds* inside a referenced dimension also
+        carry — a brand-new member is referenced by no existing fact
+        row — but the cached patch filter is re-derived on next use
+        because a new leaf under a selected ancestor joins it.  Member
+        *updates* inside a referenced dimension drop the entry.
+        """
+        dimension = mutation.dimension
+        additive = mutation.is_member_add
+        with self._lock:
+            for key in list(self._entries):
+                fact, fingerprint, generation = key
+                entry = self._entries.pop(key)
+                if generation != mutation.generation - 1:
+                    self.invalidations += 1
+                    continue
+                referenced = entry.references_dimension(dimension)
+                if referenced and not additive:
+                    self.invalidations += 1
+                    continue
+                if referenced:
+                    entry.relevant = None
+                self._entries[(fact, fingerprint, mutation.generation)] = entry
+                self.carries += 1
+            self._trim()
+
+    def _carry_all(self, mutation: StarMutation) -> None:
+        """Rekey every contiguous entry to the mutation's generation."""
+        with self._lock:
+            for key in list(self._entries):
+                fact, fingerprint, generation = key
+                entry = self._entries.pop(key)
+                if generation != mutation.generation - 1:
+                    self.invalidations += 1
+                    continue
+                self._entries[(fact, fingerprint, mutation.generation)] = entry
+                self.carries += 1
+            self._trim()
 
     def _apply_fact_delta(
         self, star: StarSchema, mutation: StarMutation

@@ -448,7 +448,13 @@ class Evaluator:
         newly_spatial = level_ref not in schema.spatial_levels
         schema.become_spatial(level_ref, stmt.geometric_type.value)
         if newly_spatial:
-            self.context.star.note_schema_change()
+            self.context.star.note_schema_change(
+                op="become_spatial",
+                payload={
+                    "level": level_ref,
+                    "geometric_type": stmt.geometric_type.value.name,
+                },
+            )
         outcome.levels_spatialized.append(level_ref)
         outcome.fired_actions += 1
         # Backfill member geometries from the external source.
@@ -483,7 +489,13 @@ class Evaluator:
         # session's SessionStart cannot evict every other session's
         # caches).
         if backfilled:
-            self.context.star.note_member_change(resolved.dimension.name)
+            # An in-place update, not an add: roll-up structure is
+            # untouched but geometry attributes changed, so this takes
+            # the full per-dimension invalidation path (and forces an
+            # eager history checkpoint — it cannot be replayed).
+            self.context.star.note_member_change(
+                resolved.dimension.name, op="update"
+            )
 
     def _exec_add_layer(self, stmt: AddLayerAction, outcome: RuleOutcome) -> None:
         name = stmt.layer_name.value
@@ -500,7 +512,18 @@ class Evaluator:
         for feature_name, geometry, attributes in features:
             table.add_feature(feature_name, geometry, attributes)
         if features:
-            self.context.star.note_feature_change(name)
+            # One bulk mutation for the whole load, carrying the feature
+            # tuples so the history can replay the load for as-of reads.
+            self.context.star.note_feature_change(
+                name,
+                op="bulk",
+                payload={
+                    "features": [
+                        (feature_name, geometry, dict(attributes or {}))
+                        for feature_name, geometry, attributes in features
+                    ]
+                },
+            )
 
     # -- expression evaluation ------------------------------------------------------
 

@@ -15,11 +15,12 @@ For a target ``(datamart, user)`` the recommender:
    distant user.
 
 Results are memoized under the cache hierarchy's invalidation protocol:
-the key carries the tenant's journal generation and star generation plus
-a caller-supplied context stamp (e.g. the requesting session's selection
-``(uid, generation)`` and its visible layers) — any journal append, star
-mutation or selection change is a miss, and nothing is ever invalidated
-by hand.  ``memo_size=0`` (or :attr:`Recommender.enable_memo` = False)
+the key carries the tenant's journal generation and star *metadata*
+generation (members/features/schema — suggestions never read fact rows,
+so fact appends keep the memo warm) plus a caller-supplied context stamp
+(e.g. the requesting session's selection ``(uid, generation)`` and its
+visible layers) — any journal append, metadata mutation or selection
+change is a miss, and nothing is ever invalidated by hand.  ``memo_size=0`` (or :attr:`Recommender.enable_memo` = False)
 disables memoization; the benchmark harness uses that to prove the memo
 is transparent.
 """
@@ -91,7 +92,7 @@ class Recommender:
         self.enable_memo = True
         self._memo = ThreadSafeLRU(memo_size)
         #: Built profiles are pure functions of ``(datamart, user, journal
-        #: generation, star generation)``, so one recommendation call per
+        #: generation, star metadata generation)``, so one call per
         #: kind (or per target user) reuses them instead of replaying the
         #: journal per call.  Same invalidation protocol as the result memo;
         #: one entry per journaled user is the working set, bounded
@@ -119,7 +120,7 @@ class Recommender:
             datamart,
             user_id,
             self.journal.generation(datamart),
-            star.generation,
+            star.metadata_generation,
         )
         cached = self._profiles.get(key)
         if cached is None:
@@ -194,7 +195,7 @@ class Recommender:
                 kind,
                 k,
                 self.journal.generation(datamart),
-                star.generation,
+                star.metadata_generation,
                 None if allowed_layers is None else frozenset(allowed_layers),
                 frozenset(exclude_members),
                 context_key,

@@ -182,13 +182,31 @@ class LogoutResult:
 class QueryRequest:
     q: str
     page: PageRequest = field(default_factory=PageRequest)
+    #: As-of-generation read: answer against the star as it stood at this
+    #: generation (``None`` = live).  Validated like every pagination
+    #: field; availability (checkpoint + contiguous log) is the façade's
+    #: concern, not the DTO's.
+    as_of: int | None = None
 
     @classmethod
-    def from_body(cls, body: Mapping[str, object]) -> "QueryRequest":
+    def from_body(
+        cls,
+        body: Mapping[str, object],
+        query: Mapping[str, object] | None = None,
+    ) -> "QueryRequest":
         text = body.get("q")
         if not text or not isinstance(text, str):
             raise BadRequestError("query requires a 'q' field")
-        return cls(q=text, page=PageRequest.from_mapping(body))
+        # ``as_of`` reads from the body first, then the URL query string
+        # (``?as_of=g``) — the body is the canonical request document,
+        # the query param the curl-friendly spelling.
+        as_of_raw = body.get("as_of")
+        if as_of_raw is None and query is not None:
+            as_of_raw = query.get("as_of")
+        as_of = (
+            None if as_of_raw is None else _non_negative_int(as_of_raw, "as_of")
+        )
+        return cls(q=text, page=PageRequest.from_mapping(body), as_of=as_of)
 
 
 @dataclass(frozen=True)

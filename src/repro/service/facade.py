@@ -15,15 +15,20 @@ the uniform error envelope.  The service owns:
   query, spatial-selection events, instance-rule rerun, layer export)
   with ``limit``/``offset`` pagination on list-shaped results;
 * a small LRU cache over query *results* keyed on ``(datamart,
-  stripped query text, selection fingerprint, star generation)`` — the
-  generation stamp implements the same invalidation protocol as the
-  engine's view store (any star mutation is a miss), and the selection
-  fingerprint is the *content* identity of the session's selection: two
-  sessions of one tenant whose personalization landed on the same
-  instances share a cache entry, while the datamart name keeps tenants
-  strictly apart.  Cached payload rows are frozen as tuples so a consumer
-  mutating a returned row can never poison later hits.
-  ``query_cache_size=0`` disables it.
+  stripped query text, selection fingerprint, as_of)``.  The key carries
+  no star generation: each cached payload instead stores the
+  *per-dimension generation stamps* its answer depended on (fact,
+  schema, the fact's dimensions, the layers its spatial filters read)
+  and a hit revalidates those stamps against the live star — so a
+  mutation of an unrelated dimension keeps every unaffected entry warm
+  instead of evicting the whole tenant.  The selection fingerprint is
+  the *content* identity of the session's selection: two sessions of one
+  tenant whose personalization landed on the same instances share a
+  cache entry, while the datamart name keeps tenants strictly apart.
+  ``as_of`` answers are immutable history, cached with empty stamps.
+  Cached payload rows are frozen as tuples so a consumer mutating a
+  returned row can never poison later hits.  ``query_cache_size=0``
+  disables it.
 """
 
 from __future__ import annotations
@@ -72,6 +77,13 @@ class CellSetPayload(NamedTuple):
     let one consumer's in-place edit silently corrupt every subsequent
     response; :meth:`PersonalizationService._paged_result` materializes
     fresh lists per request instead.
+
+    ``stamps`` records the per-dimension generations this answer was
+    computed against, as ``(kind, name, generation)`` triples (kinds:
+    ``fact``/``schema``/``member``/``layer``); a cache hit is served only
+    while every stamp still matches the live star, so a mutation
+    invalidates exactly the entries whose inputs it touched.  As-of
+    payloads are immutable history and carry no stamps.
     """
 
     axes: tuple[str, ...]
@@ -79,6 +91,7 @@ class CellSetPayload(NamedTuple):
     rows: tuple[tuple, ...]
     fact_rows_scanned: int
     fact_rows_matched: int
+    stamps: tuple = ()
 
 
 class PersonalizationService:
@@ -120,6 +133,10 @@ class PersonalizationService:
         self._lock = make_lock("PersonalizationService._lock")
         # guarded-by: _lock
         self._engine_locks: dict[int, threading.Lock] = {}
+        #: Lookups that found an entry whose generation stamps no longer
+        #: match the live star; the hit/miss properties reclassify them.
+        # guarded-by: _lock
+        self._stale_query_hits = 0
         if query_cache_size < 0:
             raise ValueError("query_cache_size must be >= 0")
         self.query_cache_size = query_cache_size
@@ -222,9 +239,12 @@ class PersonalizationService:
         }
 
     def query(self, token: str | None, request: QueryRequest) -> QueryResult:
+        from repro.storage.snapshot import HistoryError
+
         record = self._record(token)
         with record.lock:
             session = record.session
+            star = session.context.star
             cache_key = None
             if self.query_cache_size > 0:
                 selection = session.selection
@@ -239,18 +259,30 @@ class PersonalizationService:
                     # Content fingerprint, not the session uid: sessions
                     # of one tenant whose selections hold the same
                     # instances share the entry (and a selection change
-                    # changes the fingerprint — same invalidation as the
-                    # old uid+generation pair).  The datamart component
+                    # changes the fingerprint).  The datamart component
                     # keeps tenants isolated.
                     selection.fingerprint(),
-                    session.context.star.generation,
+                    # Live and as-of reads share the namespace; the star
+                    # generation is deliberately absent — freshness is
+                    # the stored payload's stamps, revalidated below.
+                    request.as_of,
                 )
                 payload = self._query_cache.get(cache_key)
                 if payload is not None:
-                    # A cache hit is still workload: the journal observes
-                    # the same traffic the caches do.
-                    self._journal_query(record, request)
-                    return self._paged_result(payload, request)
+                    if request.as_of is not None or self._stamps_current(
+                        star, payload.stamps
+                    ):
+                        # A cache hit is still workload: the journal
+                        # observes the same traffic the caches do.  As-of
+                        # answers are immutable history — no stamps to
+                        # revalidate.
+                        self._journal_query(record, request)
+                        return self._paged_result(payload, request)
+                    # Stale stamps: the raw LRU counted a lookup hit but
+                    # nothing was served — reclassified as a miss by the
+                    # query_cache_hits/misses properties.
+                    with self._lock:
+                        self._stale_query_hits += 1
             try:
                 query = parse_query(request.q, session.context.geomd_schema)
             except QueryError as exc:
@@ -261,9 +293,20 @@ class PersonalizationService:
             # materialize the right per-fact view.
             view = session.view(query.fact)
             row_selection = view.fact_rows if view.is_restricted else None
-            cell_set = execute(
-                view.star, query, row_selection, session.engine.metric
-            )
+            try:
+                cell_set = execute(
+                    view.star,
+                    query,
+                    row_selection,
+                    session.engine.metric,
+                    as_of=request.as_of,
+                )
+            except HistoryError as exc:
+                raise BadRequestError(
+                    str(exc),
+                    code="as_of_unavailable",
+                    detail={"as_of": request.as_of},
+                ) from exc
             payload = CellSetPayload(
                 axes=tuple(str(a) for a in cell_set.axes),
                 labels=tuple(cell_set.labels),
@@ -272,6 +315,11 @@ class PersonalizationService:
                 rows=tuple(cell_set.to_rows()),
                 fact_rows_scanned=cell_set.fact_rows_scanned,
                 fact_rows_matched=cell_set.fact_rows_matched,
+                stamps=(
+                    ()
+                    if request.as_of is not None
+                    else self._generation_stamps(star, query)
+                ),
             )
             if cache_key is not None:
                 # query_cache_size is runtime-mutable; trim to its live value.
@@ -280,6 +328,59 @@ class PersonalizationService:
                 )
             self._journal_query(record, request)
         return self._paged_result(payload, request)
+
+    @staticmethod
+    def _generation_stamps(star, query) -> tuple:
+        """The ``(kind, name, generation)`` triples a live answer to
+        ``query`` depends on: the fact table's rows, the schema layout,
+        the member state of each of the fact's dimensions, and the
+        feature state of every layer the query's spatial filters read.
+        Mutations elsewhere (other facts, other dimensions, other
+        layers) leave every stamp intact and the entry stays warm.
+        """
+        from repro.olap.query import LayerRef, SpatialFilter
+
+        stamps = [
+            ("fact", query.fact, star.fact_generation(query.fact)),
+            ("schema", "", star.schema_generation),
+        ]
+        fact = star.fact_table(query.fact).fact
+        for dimension in fact.dimension_names:
+            stamps.append(
+                ("member", dimension, star.member_generation(dimension))
+            )
+        layers = set()
+        for flt in query.where:
+            if isinstance(flt, SpatialFilter) and isinstance(
+                flt.target, LayerRef
+            ):
+                layers.add(flt.target.name)
+        for name in sorted(layers):
+            stamps.append(("layer", name, star.feature_generation(name)))
+        return tuple(stamps)
+
+    @staticmethod
+    def _stamps_current(star, stamps) -> bool:
+        """Whether every recorded generation stamp still matches the live
+        star — the read half of the stamped-value cache protocol."""
+        if not stamps:
+            # A stampless live payload (e.g. decoded from an older
+            # process that recorded none) carries no proof of freshness.
+            return False
+        for kind, name, generation in stamps:
+            if kind == "fact":
+                live = star.fact_generation(name)
+            elif kind == "schema":
+                live = star.schema_generation
+            elif kind == "member":
+                live = star.member_generation(name)
+            elif kind == "layer":
+                live = star.feature_generation(name)
+            else:
+                return False
+            if live != generation:
+                return False
+        return True
 
     def _paged_result(
         self, payload: CellSetPayload, request: QueryRequest
@@ -298,11 +399,17 @@ class PersonalizationService:
 
     @property
     def query_cache_hits(self) -> int:
-        return self._query_cache.hits
+        """Lookups served from cache: raw store hits minus the lookups
+        whose stamps had gone stale (those served nothing)."""
+        with self._lock:
+            stale = self._stale_query_hits
+        return self._query_cache.hits - stale
 
     @property
     def query_cache_misses(self) -> int:
-        return self._query_cache.misses
+        with self._lock:
+            stale = self._stale_query_hits
+        return self._query_cache.misses + stale
 
     def record_selection(
         self, token: str | None, request: SelectionRequest
@@ -482,6 +589,10 @@ class PersonalizationService:
                         if dm.engine.view_store is not None
                         else None
                     ),
+                    # The mutation pathway: per-kind log counters,
+                    # retained-generation window, as-of history stats,
+                    # and the patched-vs-rebuilt split of the view tier.
+                    "mutations": self._mutation_stats(dm.engine),
                 }
                 for dm in sorted(self.registry, key=lambda d: d.name)
             ],
@@ -519,6 +630,26 @@ class PersonalizationService:
     def sessions_started(self, datamart: str) -> int:
         with self._lock:
             return self._sessions_started.get(datamart, 0)
+
+    @staticmethod
+    def _mutation_stats(engine: PersonalizationEngine) -> dict:
+        """The per-tenant ``mutations`` health block: the star's mutation
+        log (per-kind counts, length, retained-generation window), the
+        as-of history tier, and how often the view store patched or
+        carried entries through mutations instead of rebuilding."""
+        star = engine.star
+        stats = star.mutation_log.stats()
+        history = star.history
+        stats["history"] = history.stats() if history is not None else None
+        view_store = engine.view_store
+        if view_store is not None:
+            view_stats = view_store.stats()
+            stats["view_patches"] = (
+                view_stats["patches"] + view_stats["carries"]
+            )
+            stats["view_rebuilds"] = view_stats["builds"]
+            stats["view_invalidations"] = view_stats["invalidations"]
+        return stats
 
     def _state_backend_stats(self) -> dict:
         """The health block for the state tier (see health())."""

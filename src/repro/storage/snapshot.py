@@ -1,4 +1,4 @@
-"""JSON snapshots of loaded star schemas.
+"""JSON snapshots of loaded star schemas, and generation time travel.
 
 The repository side of the warehouse: a loaded (and possibly already
 personalized) star — schema, dimension members with roll-up links and
@@ -6,6 +6,17 @@ geometries, fact columns, layer features — serializes to one JSON
 document and loads back bit-identically.  Geometries travel as WKT inside
 a ``{"__wkt__": ...}`` wrapper so plain JSON tooling can still read the
 files.
+
+:class:`StarHistory` builds on the same serialization for
+**as-of-generation reads** (the Iceberg time-travel idiom): it listens to
+the star's mutation stream, takes generation-stamped checkpoints
+(eagerly whenever a mutation has no replayable delta, periodically
+otherwise), and answers :meth:`StarHistory.as_of` by rehydrating the
+newest checkpoint at or before the requested generation and replaying
+the mutation log's typed deltas forward.  Reconstruction preserves
+insertion order end to end — member levels, fact row order, dictionary
+code assignment — so a query against the reconstructed star is
+bit-identical to the answer the live star gave at that generation.
 """
 
 from __future__ import annotations
@@ -13,13 +24,27 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.concurrency import make_rlock
 from repro.errors import StorageError
+from repro.geomd.gtypes_enum import GeometricType
 from repro.geomd.schema import GeoMDSchema
 from repro.geometry import Geometry, wkt_dumps, wkt_loads
+from repro.lru import ThreadSafeLRU
 from repro.mdm.model import MDSchema
-from repro.storage.star import StarSchema
+from repro.storage.star import StarMutation, StarSchema, thaw_mapping
 
-__all__ = ["star_to_dict", "star_from_dict", "save_star", "load_star"]
+__all__ = [
+    "HistoryError",
+    "StarHistory",
+    "star_to_dict",
+    "star_from_dict",
+    "save_star",
+    "load_star",
+]
+
+
+class HistoryError(StorageError):
+    """An as-of read cannot be answered from the retained history."""
 
 _WKT_KEY = "__wkt__"
 
@@ -197,3 +222,261 @@ def save_star(star: StarSchema, path: str | Path) -> None:
 def load_star(path: str | Path) -> StarSchema:
     """Load a star snapshot written by :func:`save_star`."""
     return star_from_dict(json.loads(Path(path).read_text()))
+
+
+class StarHistory:
+    """Generation-stamped checkpoints + log replay for as-of reads.
+
+    Attached to a live star (one history per star), this listens to its
+    mutation stream and maintains a small set of :func:`star_to_dict`
+    checkpoints keyed by the generation they captured:
+
+    * a **baseline** checkpoint at attach time;
+    * an **eager** checkpoint after every mutation that carries no
+      replayable delta (in-place member updates, payload-less
+      degradations) — the log cannot reproduce those, so the checkpoint
+      re-anchors answerability;
+    * a **periodic** checkpoint every ``checkpoint_interval`` generations
+      so replay chains stay bounded under pure-delta churn.
+
+    :meth:`as_of` answers a read at generation ``g`` by rehydrating the
+    newest checkpoint at or before ``g`` and replaying the retained
+    mutation-log deltas forward.  Retention is explicit: a request older
+    than the oldest checkpoint, or whose replay range has been evicted
+    from the bounded log, raises :class:`HistoryError` (mapped to the
+    API error envelope as ``as_of_unavailable``).
+    """
+
+    def __init__(
+        self,
+        star: StarSchema,
+        *,
+        checkpoint_interval: int = 4096,
+        max_checkpoints: int = 8,
+        reconstruction_cache: int = 4,
+    ) -> None:
+        if checkpoint_interval < 1:
+            raise HistoryError("checkpoint_interval must be >= 1")
+        if max_checkpoints < 1:
+            raise HistoryError("max_checkpoints must be >= 1")
+        self.star = star
+        self.checkpoint_interval = checkpoint_interval
+        self.max_checkpoints = max_checkpoints
+        self._lock = make_rlock("StarHistory._lock")
+        # generation -> star_to_dict checkpoint taken at that generation.
+        # guarded-by: _lock
+        self._checkpoints: dict[int, dict] = {}
+        # generation -> reconstructed StarSchema (immutable once built).
+        self._stars = ThreadSafeLRU(reconstruction_cache)
+        self.checkpoints_taken = 0
+        self.replays = 0
+        self._take_checkpoint()
+        star.add_mutation_listener(self._on_mutation)
+        star.history = self
+
+    @classmethod
+    def attach(cls, star: StarSchema, **kwargs) -> "StarHistory":
+        """The star's history, creating and registering one if absent."""
+        if star.history is not None:
+            return star.history
+        return cls(star, **kwargs)
+
+    def detach(self) -> None:
+        """Stop listening and unbind from the star."""
+        self.star.remove_mutation_listener(self._on_mutation)
+        if self.star.history is self:
+            self.star.history = None
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _on_mutation(self, mutation: StarMutation) -> None:
+        if not mutation.is_replayable:
+            self._take_checkpoint()
+            return
+        with self._lock:
+            newest = max(self._checkpoints, default=-1)
+        if mutation.generation - newest >= self.checkpoint_interval:
+            self._take_checkpoint()
+
+    def _take_checkpoint(self) -> None:
+        """Checkpoint the star's current state, stamped with its generation.
+
+        The star's cache lock is held across the (generation, contents)
+        pair so a concurrent ``note_*_change`` cannot slide the counter
+        under a half-serialized snapshot; table writes that precede
+        their ``note_*`` call can still leak in, which replay tolerates
+        by skipping already-present members/features.
+        """
+        with self.star._cache_lock:
+            generation = self.star.generation
+            data = star_to_dict(self.star)
+        with self._lock:
+            self._checkpoints[generation] = data
+            self.checkpoints_taken += 1
+            while len(self._checkpoints) > self.max_checkpoints:
+                del self._checkpoints[min(self._checkpoints)]
+
+    # -- as-of reads ----------------------------------------------------------
+
+    def as_of(self, generation: int) -> StarSchema:
+        """The star as it stood at ``generation`` (bit-identical replay).
+
+        Returns the live star when ``generation`` is current; otherwise a
+        reconstructed, effectively read-only star (cached per
+        generation).  Raises :class:`HistoryError` when the generation is
+        in the future or has fallen out of the retained history.
+        """
+        current = self.star.generation
+        if generation == current:
+            return self.star
+        if generation > current:
+            raise HistoryError(
+                f"as_of generation {generation} is in the future "
+                f"(current generation is {current})"
+            )
+        cached = self._stars.get(generation)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        with self._lock:
+            base = max(
+                (g for g in self._checkpoints if g <= generation), default=None
+            )
+            if base is None:
+                oldest = min(self._checkpoints, default=None)
+                raise HistoryError(
+                    f"as_of generation {generation} predates the retained "
+                    f"history (oldest checkpoint: {oldest})"
+                )
+            data = self._checkpoints[base]
+        mutations = self.star.mutation_log.between(base, generation)
+        if len(mutations) != generation - base or not all(
+            m.is_replayable for m in mutations
+        ):
+            raise HistoryError(
+                f"as_of generation {generation}: the mutation range "
+                f"({base}, {generation}] is no longer fully retained or "
+                f"replayable"
+            )
+        reconstructed = star_from_dict(data)
+        # Mirror the live star's execution switches so an as-of query
+        # takes the same code paths (bit-identity with recorded answers).
+        reconstructed.use_indexes = self.star.use_indexes
+        reconstructed.use_vectorized = self.star.use_vectorized
+        reconstructed.use_numpy = self.star.use_numpy
+        for mutation in mutations:
+            self._replay(reconstructed, mutation)
+        self.replays += 1
+        self._stars.put(generation, reconstructed)
+        return reconstructed
+
+    def _replay(self, star: StarSchema, mutation: StarMutation) -> None:
+        """Apply one logged delta to a reconstructed star.
+
+        Replay is idempotent per entry (already-present members and
+        features are skipped) so a checkpoint that raced a table write
+        cannot poison reconstruction.
+        """
+        payload = mutation.payload_dict()
+        if mutation.is_fact_delta:
+            live = self.star.fact_table(mutation.fact)
+            dims = live.fact.dimension_names
+            measure_names = live.fact.measures
+            rows = []
+            for row_id in mutation.row_ids:
+                row = live.row(row_id)
+                rows.append(
+                    (
+                        {dim: row[dim] for dim in dims},
+                        {m: row[m] for m in measure_names},
+                    )
+                )
+            table = star.fact_table(mutation.fact)
+            fresh = [
+                row for offset, row in zip(mutation.row_ids, rows)
+                if offset >= len(table)
+            ]
+            if fresh:
+                star.insert_facts(mutation.fact, fresh)
+        elif mutation.is_member_add:
+            dimension = mutation.dimension
+            level = str(payload["level"])
+            key = str(payload["key"])
+            table = star.dimension_table(dimension)
+            try:
+                table.member(level, key)
+            except StorageError:
+                star.add_member(
+                    dimension,
+                    level,
+                    key,
+                    thaw_mapping(payload.get("attributes")),
+                    parents={
+                        str(p): str(k)
+                        for p, k in thaw_mapping(payload.get("parents")).items()
+                    },
+                )
+        elif mutation.is_feature_add:
+            self._replay_feature(
+                star,
+                mutation.layer,
+                str(payload["name"]),
+                payload.get("geometry"),
+                thaw_mapping(payload.get("attributes")),
+            )
+        elif mutation.is_feature_bulk:
+            for entry in payload.get("features", ()):
+                name, geometry, attributes = entry
+                self._replay_feature(
+                    star, mutation.layer, str(name), geometry,
+                    thaw_mapping(attributes),
+                )
+        elif mutation.is_schema_patch:
+            schema = star.schema
+            if not isinstance(schema, GeoMDSchema):
+                raise HistoryError(
+                    "cannot replay a schema patch onto a non-GeoMD star"
+                )
+            geometric_type = GeometricType[str(payload["geometric_type"])]
+            if mutation.op == "add_layer":
+                schema.add_layer(str(payload["layer"]), geometric_type)
+                star.ensure_layer_table(str(payload["layer"]))
+            else:
+                schema.become_spatial(str(payload["level"]), geometric_type)
+        else:  # pragma: no cover - as_of() pre-validates replayability
+            raise HistoryError(
+                f"mutation at generation {mutation.generation} "
+                f"({mutation.kind}/{mutation.op}) is not replayable"
+            )
+
+    def _replay_feature(
+        self,
+        star: StarSchema,
+        layer: str,
+        name: str,
+        geometry: object,
+        attributes: dict,
+    ) -> None:
+        if not isinstance(geometry, Geometry):
+            raise HistoryError(
+                f"feature delta for layer {layer!r} carries no geometry"
+            )
+        table = star.ensure_layer_table(layer)
+        try:
+            table.feature(name)
+        except StorageError:
+            star.add_feature(layer, name, geometry, attributes)
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            generations = sorted(self._checkpoints)
+            return {
+                "checkpoints": len(generations),
+                "oldest_checkpoint": generations[0] if generations else None,
+                "newest_checkpoint": generations[-1] if generations else None,
+                "checkpoint_interval": self.checkpoint_interval,
+                "checkpoints_taken": self.checkpoints_taken,
+                "replays": self.replays,
+                "reconstructions_cached": len(self._stars),
+            }

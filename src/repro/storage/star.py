@@ -24,11 +24,25 @@ instead invalidated *in place* by the same hooks, so they can never
 serve stale data.  Setting :attr:`~StarSchema.use_indexes` to ``False`` routes every
 consumer back to the plain scans (used by the benchmark harness to prove
 the fast paths are transparent).
+
+The mutation log
+----------------
+
+On top of the per-kind counters every ``note_*_change`` appends a typed
+:class:`StarMutation` — now carrying the actual delta payload where the
+caller can name it — to a bounded, generation-ordered :class:`MutationLog`
+owned by the star.  Listeners still receive each mutation exactly once
+(outside the lock), but the log is the durable record: downstream layers
+patch instead of blanket-invalidating, and
+:class:`repro.storage.snapshot.StarHistory` replays the retained suffix
+over generation-stamped checkpoints to answer ``as_of`` reads against a
+past generation.
 """
 
 from __future__ import annotations
 
 from array import array
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
@@ -40,18 +54,65 @@ from repro.geometry.index import EnvelopeColumns
 from repro.mdm.model import MDSchema
 from repro.storage.tables import DimensionTable, FactTable, Feature, LayerTable, Member
 
-__all__ = ["StarMutation", "StarSchema"]
+__all__ = [
+    "MutationLog",
+    "StarMutation",
+    "StarSchema",
+    "freeze_payload",
+    "thaw_payload",
+]
+
+
+def freeze_payload(mapping: Mapping[str, object] | None) -> tuple:
+    """Deep-freeze a delta payload into nested sorted tuples.
+
+    :class:`StarMutation` is frozen and cached/logged, so its payload must
+    be immutable too: mappings become ``((key, value), ...)`` sorted by
+    key, sequences become tuples.  Geometries pass through untouched —
+    they are already immutable value objects.
+    """
+    if not mapping:
+        return ()
+    return tuple(sorted((key, _freeze_value(value)) for key, value in mapping.items()))
+
+
+def _freeze_value(value: object) -> object:
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _freeze_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+def thaw_payload(payload: tuple) -> dict[str, object]:
+    """Inverse of :func:`freeze_payload` for the top level.
+
+    Nested frozen mappings stay as item tuples; use :func:`thaw_mapping`
+    on individual fields whose original shape was a mapping.
+    """
+    return dict(payload)
+
+
+def thaw_mapping(value: object) -> dict:
+    """Rebuild a mapping field frozen by :func:`freeze_payload`."""
+    if isinstance(value, tuple):
+        return dict(value)
+    if isinstance(value, Mapping):
+        return dict(value)
+    return {}
 
 
 @dataclass(frozen=True)
 class StarMutation:
-    """Typed description of one star mutation, delivered to listeners.
+    """Typed description of one star mutation, logged and delivered to listeners.
 
     ``generation`` is the star generation *after* the mutation.  Fact
-    appends carry the appended ``row_ids`` so downstream caches (the
-    engine's shared view store) can patch incrementally instead of
-    rebuilding; every other kind names what changed but carries no delta —
-    listeners must treat it as a full invalidation.
+    appends carry the appended ``row_ids``; member/feature adds and
+    schema personalization patches carry their delta in ``payload``
+    (a :func:`freeze_payload` tuple) tagged by ``op``.  Downstream caches
+    patch through these deltas; a mutation whose caller could not name
+    the delta (``op is None``) degrades to the pre-log behaviour — a
+    full invalidation of the affected scope.
     """
 
     kind: str  # "member" | "fact" | "feature" | "schema"
@@ -60,11 +121,139 @@ class StarMutation:
     layer: str | None = None
     fact: str | None = None
     row_ids: tuple[int, ...] = ()
+    op: str | None = None  # "add" | "update" | "append" | "add_layer" | "become_spatial"
+    payload: tuple = ()
 
     @property
     def is_fact_delta(self) -> bool:
         """True when this mutation can be applied as an incremental patch."""
         return self.kind == "fact" and self.fact is not None and bool(self.row_ids)
+
+    @property
+    def is_member_add(self) -> bool:
+        """True for a member insert carrying its full delta (new leaf/ancestor)."""
+        return self.kind == "member" and self.op == "add" and bool(self.payload)
+
+    @property
+    def is_feature_add(self) -> bool:
+        """True for a single-feature insert carrying its geometry delta."""
+        return self.kind == "feature" and self.op == "add" and bool(self.payload)
+
+    @property
+    def is_feature_bulk(self) -> bool:
+        """True for a bulk feature load carrying every loaded feature."""
+        return self.kind == "feature" and self.op == "bulk" and bool(self.payload)
+
+    @property
+    def is_schema_patch(self) -> bool:
+        """True for an AddLayer/BecomeSpatial patch carrying its arguments."""
+        return (
+            self.kind == "schema"
+            and self.op in ("add_layer", "become_spatial")
+            and bool(self.payload)
+        )
+
+    @property
+    def is_replayable(self) -> bool:
+        """True when :class:`repro.storage.snapshot.StarHistory` can replay this.
+
+        Non-replayable mutations (in-place member updates, payload-less
+        degradations) force an eager checkpoint so as-of reads stay
+        answerable across them.
+        """
+        return (
+            self.is_fact_delta
+            or self.is_member_add
+            or self.is_feature_add
+            or self.is_feature_bulk
+            or self.is_schema_patch
+        )
+
+    def payload_dict(self) -> dict[str, object]:
+        """The delta payload as a plain dict (top level only)."""
+        return thaw_payload(self.payload)
+
+
+class MutationLog:
+    """Bounded, generation-ordered log of one star's typed mutations.
+
+    Appended by the star inside its cache lock (so entries are strictly
+    ordered by generation) and read by :class:`repro.storage.snapshot.StarHistory`
+    replay, the health endpoint and the cluster mutation-event codec.
+    Eviction drops the oldest entries; per-kind counters are cumulative
+    and survive eviction.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise StorageError("MutationLog needs max_entries >= 1")
+        self.max_entries = max_entries
+        self._lock = make_rlock("MutationLog._lock")
+        # guarded-by: _lock
+        self._entries: deque[StarMutation] = deque()
+        # kind -> cumulative count (never decremented on eviction).
+        # guarded-by: _lock
+        self._kind_counts: dict[str, int] = {}
+
+    def append(self, mutation: StarMutation) -> None:
+        with self._lock:
+            self._entries.append(mutation)
+            self._kind_counts[mutation.kind] = (
+                self._kind_counts.get(mutation.kind, 0) + 1
+            )
+            while len(self._entries) > self.max_entries:
+                self._entries.popleft()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def oldest_generation(self) -> int | None:
+        """Generation of the oldest retained entry (``None`` when empty)."""
+        with self._lock:
+            return self._entries[0].generation if self._entries else None
+
+    @property
+    def newest_generation(self) -> int | None:
+        """Generation of the newest retained entry (``None`` when empty)."""
+        with self._lock:
+            return self._entries[-1].generation if self._entries else None
+
+    def entries(self) -> list[StarMutation]:
+        """Snapshot of the retained entries, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def between(self, start: int, end: int) -> list[StarMutation]:
+        """Retained mutations with ``start < generation <= end``, in order."""
+        with self._lock:
+            return [m for m in self._entries if start < m.generation <= end]
+
+    def since(self, generation: int) -> list[StarMutation]:
+        """Retained mutations newer than ``generation``, in order."""
+        with self._lock:
+            return [m for m in self._entries if m.generation > generation]
+
+    def kind_counts(self) -> dict[str, int]:
+        """Cumulative mutation counts per kind (unaffected by eviction)."""
+        with self._lock:
+            return dict(self._kind_counts)
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "length": len(self._entries),
+                "max_entries": self.max_entries,
+                "kinds": dict(self._kind_counts),
+                "oldest_generation": (
+                    self._entries[0].generation if self._entries else None
+                ),
+                "newest_generation": (
+                    self._entries[-1].generation if self._entries else None
+                ),
+                "replayable": sum(1 for m in self._entries if m.is_replayable),
+            }
 
 #: Sentinel distinguishing "not cached yet" from a cached ``None``
 #: (an empty layer/level legitimately caches as ``None``).
@@ -144,7 +333,22 @@ class StarSchema:
         # depends only on a dimension's members, so its cache keys on
         # this instead of the global generation — fact appends and
         # schema/feature changes must not evict resolved roll-ups.
+        # Member ADDs with a delta payload do NOT bump this: parent
+        # links are fixed at creation and a new leaf is referenced by
+        # no existing fact, so every resolved roll-up stays correct.
         self._member_generations: dict[str, int] = {}
+        # fact name -> count of its appends; the query cache stamps
+        # results with these so a member edit on one dimension does not
+        # evict results over unrelated facts.
+        self._fact_generations: dict[str, int] = {}
+        # layer name -> count of its feature mutations.
+        self._feature_generations: dict[str, int] = {}
+        self._schema_generation = 0
+        # Bumped by member/feature/schema mutations but NOT by fact
+        # appends; the recommender's profile/suggestion memos key on
+        # this (suggestions read members, layers and the journal —
+        # never fact rows).
+        self._metadata_generation = 0
         #: When False, every index-backed fast path falls back to the
         #: original scans (transparency switch for benchmarks/tests).
         self.use_indexes: bool = True
@@ -185,6 +389,14 @@ class StarSchema:
         #: and read the star back).  The engine's shared view store
         #: subscribes here to patch or invalidate materialized views.
         self._mutation_listeners: list[Callable[[StarMutation], None]] = []
+        #: Ordered, bounded log of every mutation; appended inside
+        #: ``_cache_lock`` so entries are strictly generation-ordered
+        #: even when listeners race.
+        self.mutation_log = MutationLog()
+        #: Set by :meth:`repro.storage.snapshot.StarHistory.attach`;
+        #: ``None`` until a history is attached (as-of reads then fail
+        #: with a clear error instead of silently serving live data).
+        self.history = None
 
     # -- cache invalidation ---------------------------------------------------
 
@@ -192,6 +404,28 @@ class StarSchema:
     def generation(self) -> int:
         """Monotonic data version; bumped by every mutation."""
         return self._generation
+
+    @property
+    def metadata_generation(self) -> int:
+        """Version of everything but fact rows (members, features, schema)."""
+        return self._metadata_generation
+
+    @property
+    def schema_generation(self) -> int:
+        """Count of schema personalization patches (AddLayer/BecomeSpatial)."""
+        return self._schema_generation
+
+    def member_generation(self, dimension: str) -> int:
+        """Count of one dimension's cache-invalidating member mutations."""
+        return self._member_generations.get(dimension, 0)
+
+    def fact_generation(self, fact: str) -> int:
+        """Count of one fact table's append batches."""
+        return self._fact_generations.get(fact, 0)
+
+    def feature_generation(self, layer: str) -> int:
+        """Count of one layer's feature mutations."""
+        return self._feature_generations.get(layer, 0)
 
     def add_mutation_listener(
         self, listener: Callable[[StarMutation], None]
@@ -217,35 +451,88 @@ class StarSchema:
         for listener in self._mutation_listeners:
             listener(mutation)
 
-    def note_member_change(self, dimension: str) -> None:
-        """Invalidate caches derived from one dimension's members.
+    def note_member_change(
+        self,
+        dimension: str,
+        *,
+        op: str | None = None,
+        payload: Mapping[str, object] | None = None,
+    ) -> None:
+        """Record a member mutation; patch or invalidate the dimension's caches.
 
         Called on member inserts and on in-place member mutation (the
         ``BecomeSpatial`` geometry backfill writes member attributes
-        directly).
+        directly).  ``op="add"`` with a ``{"level", "key", ...}`` payload
+        is the additive fast path: parent links are fixed at member
+        creation and a brand-new member is referenced by no existing
+        fact row, so every resolved roll-up stays correct — the inverted
+        roll-up index is extended in place, only the added level's
+        envelope grid is dropped, and the dimension's member generation
+        does **not** bump (translation tables and roll-up caches
+        survive).  Any other ``op`` (or none) keeps the original
+        behaviour: full invalidation of the dimension's derived caches.
         """
+        frozen = freeze_payload(payload)
+        details = dict(frozen)
+        additive = op == "add" and "level" in details and "key" in details
         with self._cache_lock:
             self._generation += 1
             generation = self._generation
-            self._member_generations[dimension] = (
-                self._member_generations.get(dimension, 0) + 1
+            self._metadata_generation += 1
+            if additive:
+                self._patch_member_add(
+                    dimension, str(details["level"]), str(details["key"])
+                )
+            else:
+                self._member_generations[dimension] = (
+                    self._member_generations.get(dimension, 0) + 1
+                )
+                for key in [k for k in self._rollup_index if k[0] == dimension]:
+                    del self._rollup_index[key]
+                for key in [
+                    k for k in self._rollup_translations if k[1] == dimension
+                ]:
+                    del self._rollup_translations[key]
+                for key in [k for k in self._level_grid if k[0] == dimension]:
+                    del self._level_grid[key]
+                # The roll-up member cache is generation-keyed, so stale
+                # entries can no longer *hit* — dropping the dimension's
+                # entries here just keeps dead generations from accumulating.
+                for key in [k for k in self._rollup_cache if k[0] == dimension]:
+                    del self._rollup_cache[key]
+            mutation = StarMutation(
+                kind="member",
+                generation=generation,
+                dimension=dimension,
+                op=op,
+                payload=frozen,
             )
-            for key in [k for k in self._rollup_index if k[0] == dimension]:
-                del self._rollup_index[key]
-            for key in [k for k in self._rollup_translations if k[1] == dimension]:
-                del self._rollup_translations[key]
-            for key in [k for k in self._level_grid if k[0] == dimension]:
-                del self._level_grid[key]
-            # The roll-up member cache is generation-keyed, so stale
-            # entries can no longer *hit* — dropping the dimension's
-            # entries here just keeps dead generations from accumulating.
-            for key in [k for k in self._rollup_cache if k[0] == dimension]:
-                del self._rollup_cache[key]
-        self._notify(
-            StarMutation(
-                kind="member", generation=generation, dimension=dimension
-            )
-        )
+            self.mutation_log.append(mutation)
+        self._notify(mutation)
+
+    def _patch_member_add(self, dimension: str, level: str, key: str) -> None:  # guarded-by-caller: _cache_lock
+        """Extend the dimension's lazy caches for one added member.
+
+        Must be called under ``_cache_lock``.  A new leaf joins every
+        built inverted index for its dimension; a new non-leaf member
+        has no leaf descendants yet, so the indexes need no entry
+        (readers fall back to an empty set).  Only the added level's
+        envelope grid is rebuilt.
+        """
+        table = self.dimension_table(dimension)
+        if level == table.dimension.leaf:
+            for (dim, target_level), index in list(self._rollup_index.items()):
+                if dim != dimension:
+                    continue
+                try:
+                    ancestor = self.rollup_member(dimension, key, target_level)
+                except StorageError:
+                    # No ancestry path at this level — degrade this one
+                    # index to a lazy rebuild rather than guessing.
+                    del self._rollup_index[(dim, target_level)]
+                    continue
+                index.setdefault(ancestor.key, set()).add(key)
+        self._level_grid.pop((dimension, level), None)
 
     def note_fact_change(
         self, fact: str | None = None, row_ids: Iterable[int] = ()
@@ -260,31 +547,105 @@ class StarSchema:
         with self._cache_lock:
             self._generation += 1
             generation = self._generation
-        self._notify(
-            StarMutation(
+            if fact is not None:
+                self._fact_generations[fact] = (
+                    self._fact_generations.get(fact, 0) + 1
+                )
+            else:
+                for name in self._facts:
+                    self._fact_generations[name] = (
+                        self._fact_generations.get(name, 0) + 1
+                    )
+            mutation = StarMutation(
                 kind="fact",
                 generation=generation,
                 fact=fact,
                 row_ids=tuple(row_ids),
+                op="append" if fact is not None else None,
             )
-        )
+            self.mutation_log.append(mutation)
+        self._notify(mutation)
 
-    def note_feature_change(self, layer: str) -> None:
-        """Invalidate caches derived from one layer's features."""
+    def note_feature_change(
+        self,
+        layer: str,
+        *,
+        op: str | None = None,
+        payload: Mapping[str, object] | None = None,
+    ) -> None:
+        """Record a feature mutation; patch or drop the layer's envelope grid.
+
+        ``op="add"`` with a ``{"name", "geometry", ...}`` payload extends
+        a built :class:`~repro.geometry.index.EnvelopeColumns` grid in
+        place instead of dropping it; bulk loads (no payload) keep the
+        original drop-and-rebuild.  Layers are append-only, so posting
+        lists and view row sets are never affected either way.
+        """
+        frozen = freeze_payload(payload)
+        details = dict(frozen)
+        additive = op == "add" and "geometry" in details
         with self._cache_lock:
             self._generation += 1
             generation = self._generation
+            self._metadata_generation += 1
+            self._feature_generations[layer] = (
+                self._feature_generations.get(layer, 0) + 1
+            )
+            if additive:
+                self._patch_feature_add(layer, details["geometry"])
+            else:
+                self._layer_grid.pop(layer, None)
+            mutation = StarMutation(
+                kind="feature",
+                generation=generation,
+                layer=layer,
+                op=op,
+                payload=frozen,
+            )
+            self.mutation_log.append(mutation)
+        self._notify(mutation)
+
+    def _patch_feature_add(self, layer: str, geometry: object) -> None:  # guarded-by-caller: _cache_lock
+        """Append one feature's envelope to a built layer grid, in place.
+
+        Must be called under ``_cache_lock``.  An unbuilt grid stays
+        unbuilt; a grid cached as ``None`` (layer was empty) is dropped
+        so the next read builds it over the now non-empty layer.
+        """
+        cached = self._layer_grid.get(layer, _UNBUILT)
+        if cached is _UNBUILT:
+            return
+        if cached is None or not isinstance(geometry, Geometry):
             self._layer_grid.pop(layer, None)
-        self._notify(
-            StarMutation(kind="feature", generation=generation, layer=layer)
-        )
+            return
+        index, geometries = cached  # type: ignore[misc]
+        position = len(geometries)
+        geometries.append(geometry)
+        index.extend([(geometry, position)])
 
-    def note_schema_change(self) -> None:
-        """Record a schema mutation (AddLayer / BecomeSpatial)."""
+    def note_schema_change(
+        self,
+        *,
+        op: str | None = None,
+        payload: Mapping[str, object] | None = None,
+    ) -> None:
+        """Record a schema mutation (AddLayer / BecomeSpatial).
+
+        ``op``/``payload`` carry the personalization patch arguments
+        (layer or level reference plus geometric type name) so the
+        mutation log can replay the patch for as-of reads.
+        """
+        frozen = freeze_payload(payload)
         with self._cache_lock:
             self._generation += 1
             generation = self._generation
-        self._notify(StarMutation(kind="schema", generation=generation))
+            self._metadata_generation += 1
+            self._schema_generation += 1
+            mutation = StarMutation(
+                kind="schema", generation=generation, op=op, payload=frozen
+            )
+            self.mutation_log.append(mutation)
+        self._notify(mutation)
 
     # -- access ---------------------------------------------------------------
 
@@ -344,7 +705,13 @@ class StarSchema:
             if table is None:
                 table = LayerTable(layer)
                 self._layers[name] = table
-        self.note_schema_change()
+        self.note_schema_change(
+            op="add_layer",
+            payload={
+                "layer": name,
+                "geometric_type": layer.geometric_type.name,
+            },
+        )
         return table
 
     # -- loading ----------------------------------------------------------------
@@ -361,7 +728,16 @@ class StarSchema:
             level, key, attributes, parents
         )
         self._check_member_geometry(dimension, level, member)
-        self.note_member_change(dimension)
+        self.note_member_change(
+            dimension,
+            op="add",
+            payload={
+                "level": level,
+                "key": key,
+                "attributes": dict(member.attributes),
+                "parents": dict(member.parents),
+            },
+        )
         return member
 
     def _check_member_geometry(
@@ -441,7 +817,15 @@ class StarSchema:
         attributes: Mapping[str, object] | None = None,
     ) -> Feature:
         feature = self.layer_table(layer).add_feature(name, geometry, attributes)
-        self.note_feature_change(layer)
+        self.note_feature_change(
+            layer,
+            op="add",
+            payload={
+                "name": name,
+                "geometry": geometry,
+                "attributes": dict(feature.attributes),
+            },
+        )
         return feature
 
     # -- roll-up ------------------------------------------------------------------

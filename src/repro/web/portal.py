@@ -208,7 +208,8 @@ class PortalApp:
 
     def _query(self, request: Request) -> Response:
         result = self.service.query(
-            request.session_token, QueryRequest.from_body(request.body)
+            request.session_token,
+            QueryRequest.from_body(request.body, request.query),
         )
         return json_response(result.to_dict())
 

@@ -53,6 +53,24 @@ class TestGenKey:
         )
         assert _by_rule(violations, "gen-key") == []
 
+    def test_stamped_value_put_passes(self, lint):
+        # PR 9 query-cache idiom: the key drops the generation (so as-of
+        # and live reads share one namespace) and the stored payload
+        # carries per-dimension generation stamps revalidated on read.
+        violations = lint(
+            """
+            class Service:
+                def __init__(self):
+                    self._query_cache = ThreadSafeLRU(64)
+
+                def run(self, q, star):
+                    key = (q, star.datamart)
+                    stamps = self._generation_stamps(star, q)
+                    self._query_cache.put(key, (stamps, object()))
+            """
+        )
+        assert _by_rule(violations, "gen-key") == []
+
     def test_lru_put_without_generation_is_flagged(self, lint):
         violations = lint(
             """
@@ -186,6 +204,43 @@ class TestFrozenPayload:
         )
         (violation,) = _by_rule(violations, "frozen-payload")
         assert violation.line == 10
+
+    def test_mutating_annotated_frozen_parameter_is_flagged(self, lint):
+        # PR 9: mutation-log consumers receive StarMutation-shaped frozen
+        # payloads as parameters — mutating their fields is poison even
+        # though the construction site is in another function.
+        violations = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class StarMutation:
+                payload: tuple
+
+            def poison(mutation: StarMutation):
+                mutation.payload.append(("extra", 1))
+            """
+        )
+        (violation,) = _by_rule(violations, "frozen-payload")
+        assert violation.line == 9
+        assert "StarMutation" in violation.message
+
+    def test_thawed_payload_copy_passes(self, lint):
+        violations = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class StarMutation:
+                payload: tuple
+
+            def fine(mutation: StarMutation):
+                details = thaw_payload(mutation.payload)
+                details["extra"] = 1
+                return details
+            """
+        )
+        assert _by_rule(violations, "frozen-payload") == []
 
     def test_copying_before_mutation_passes(self, lint):
         violations = lint(

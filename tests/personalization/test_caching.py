@@ -160,29 +160,47 @@ class TestInvalidation:
         assert fresh is not stale
         assert len(fresh.fact_rows) == len(stale.fact_rows) + 1
 
-    def test_feature_insert_refreshes_view(self, session):
+    def test_feature_insert_carries_view(self, session):
+        """PR 9: feature inserts no longer rebuild views — the store
+        carries the (provably unchanged) view to the new generation and
+        the session memo revalidates against it."""
         star = session.context.star
         stale = session.view()
+        generation = star.generation
         star.add_feature("Airport", "Test Field", Point(1.0, 2.0))
+        assert star.generation == generation + 1
         fresh = session.view()
-        assert fresh is not stale
-        assert fresh.fact_rows == stale.fact_rows
+        assert fresh is stale
+        assert fresh.fact_rows == session._build_view(fresh.fact).fact_rows
 
-    def test_member_insert_refreshes_view(self, session):
+    def test_member_insert_carries_view(self, session):
+        """PR 9: a member add on an unreferenced dimension carries the
+        view instead of rebuilding; content must equal a fresh build."""
         star = session.context.star
         stale = session.view()
         star.add_member("Product", "Family", "Exotic")
         fresh = session.view()
-        assert fresh is not stale
+        assert fresh is stale
+        assert fresh.fact_rows == session._build_view(fresh.fact).fact_rows
 
-    def test_layer_table_creation_refreshes_view(self, session):
+    def test_member_update_refreshes_view(self, session):
+        """An in-place member update on a referenced dimension still
+        invalidates (no delta shape to patch through)."""
+        stale = session.view()
+        session.context.star.note_member_change("Store", op="update")
+        fresh = session.view()
+        assert fresh is not stale
+        assert fresh.fact_rows == stale.fact_rows
+
+    def test_layer_table_creation_carries_view(self, session):
         star = session.context.star
         schema = session.context.geomd_schema
         stale = session.view()
         schema.add_layer("Harbour", schema.layers["Airport"].geometric_type)
         star.ensure_layer_table("Harbour")
         fresh = session.view()
-        assert fresh is not stale
+        assert fresh is stale
+        assert fresh.fact_rows == session._build_view(fresh.fact).fact_rows
 
     def test_idempotent_session_start_keeps_other_sessions_warm(
         self, engine, user_schema, world

@@ -98,21 +98,69 @@ class TestSharing:
 
 
 class TestInvalidation:
-    def test_member_mutation_invalidates(self, engine, session):
+    def test_unreferenced_member_mutation_carries(self, engine, session):
+        """PR 9 bugfix pin: a member mutation on a dimension the view's
+        selection does not reference used to throw the view away; it must
+        carry to the new generation without a rebuild."""
         warm = session.view()
+        builds = engine.view_store.stats()["builds"]
+        assert not any(
+            dim == "Product" for dim, _level in session.selection.members
+        )
         session.context.star.add_member("Product", "Family", "Exotic")
+        fresh = session.view()
+        assert fresh is warm
+        stats = engine.view_store.stats()
+        assert stats["builds"] == builds
+        assert stats["carries"] >= 1
+
+    def test_referenced_member_update_invalidates(self, engine, session):
+        """An in-place member update inside a referenced dimension has no
+        delta shape — the view must be dropped and rebuilt."""
+        warm = session.view()
+        assert any(
+            dim == "Store" for dim, _level in session.selection.members
+        )
+        session.context.star.note_member_change("Store", op="update")
         fresh = session.view()
         assert fresh is not warm
         assert engine.view_store.stats()["invalidations"] >= 1
 
-    def test_feature_mutation_invalidates(self, engine, session, world):
+    def test_referenced_member_add_carries(self, engine, session, world):
+        """A member *add* inside a referenced dimension carries: a new
+        member is referenced by no existing fact row, so the view's rows
+        are provably unchanged (the patch filter is re-derived lazily)."""
+        warm = session.view()
+        builds = engine.view_store.stats()["builds"]
+        session.context.star.add_member(
+            "Store", "Store", "S-new", parents={"City": world.cities[0].name}
+        )
+        fresh = session.view()
+        assert fresh is warm
+        assert engine.view_store.stats()["builds"] == builds
+        rebuilt = session._build_view(warm.fact)
+        assert fresh.fact_rows == rebuilt.fact_rows
+
+    def test_feature_mutation_carries(self, engine, session, world):
         from repro.geometry import Point
 
         warm = session.view()
+        builds = engine.view_store.stats()["builds"]
         session.context.star.add_feature("Airport", "Test Field", Point(1.0, 2.0))
         fresh = session.view()
-        assert fresh is not warm
+        assert fresh is warm
+        assert engine.view_store.stats()["builds"] == builds
         assert fresh.fact_rows == warm.fact_rows
+
+    def test_incremental_off_member_mutation_invalidates(self, engine, session):
+        """With the transparency switch off every kind degrades to the
+        pre-PR 9 behaviour: full invalidation (EXT8's baseline mode)."""
+        engine.view_store.incremental = False
+        warm = session.view()
+        session.context.star.add_member("Product", "Family", "Exotic2")
+        fresh = session.view()
+        assert fresh is not warm
+        assert engine.view_store.stats()["invalidations"] >= 1
 
     def test_lru_bound_evicts(self, star, user_schema, world, profile):
         engine = PersonalizationEngine(

@@ -1,11 +1,13 @@
 """Tests for the façade's LRU query-result cache.
 
 The cache key is ``(datamart, canonical query text, selection
-fingerprint, star generation)`` — these tests pin the protocol: hits only
-in steady state, misses on any selection/star change, entries shared
-across sessions exactly when their selections hold the same content,
-never across tenants, byte-identical responses with the cache disabled,
-and bounded size.
+fingerprint, as_of)`` and each payload carries per-dimension generation
+stamps revalidated on read — these tests pin the protocol: hits only
+while every stamp matches, misses on any selection change or any star
+mutation the query's inputs depend on, warm entries through mutations
+they provably don't (PR 9), entries shared across sessions exactly when
+their selections hold the same content, never across tenants,
+byte-identical responses with the cache disabled, and bounded size.
 """
 
 import pytest
@@ -134,11 +136,41 @@ class TestHitsAndMisses:
         assert service.query_cache_misses == 2
         assert widened.fact_rows_scanned > 0
 
-    def test_star_generation_change_misses(self, service, token, engine):
+    def test_unrelated_feature_mutation_keeps_entry_warm(
+        self, service, token, engine
+    ):
+        """PR 9: the payload's stamps cover only the layers the query's
+        spatial filters read — a feature insert elsewhere leaves the
+        entry warm, and the warm answer equals a fresh build."""
         from repro.geometry import Point
 
-        service.query(token, QueryRequest(q=QUERY))
+        first = service.query(token, QueryRequest(q=QUERY))
         engine.star.add_feature("Airport", "Test Field", Point(0.0, 0.0))
+        warm = service.query(token, QueryRequest(q=QUERY))
+        assert service.query_cache_hits == 1
+        assert service.query_cache_misses == 1
+        assert warm.to_dict() == first.to_dict()
+
+    def test_fact_insert_misses(self, service, token, engine):
+        """A fact append moves the fact stamp, so the entry is stale."""
+        service.query(token, QueryRequest(q=QUERY))
+        star = engine.star
+        fact_table = star.fact_table()
+        row = fact_table.row(0)
+        star.insert_fact(
+            fact_table.fact.name,
+            {d: row[d] for d in fact_table.fact.dimension_names},
+            {m: row[m] for m in fact_table.fact.measures},
+        )
+        service.query(token, QueryRequest(q=QUERY))
+        assert service.query_cache_hits == 0
+        assert service.query_cache_misses == 2
+
+    def test_member_update_misses(self, service, token, engine):
+        """An in-place member update on a dimension of the queried fact
+        moves that dimension's stamp."""
+        service.query(token, QueryRequest(q=QUERY))
+        engine.star.note_member_change("Product", op="update")
         service.query(token, QueryRequest(q=QUERY))
         assert service.query_cache_hits == 0
         assert service.query_cache_misses == 2

@@ -255,7 +255,13 @@ class TestRollupTranslation:
         # A member change on another dimension must not invalidate it.
         star.add_member("Product", "Product", "P9", parents={"Family": "F0"})
         assert star.rollup_translation("Sales", "Store", "City") is first
+        # A member ADD carries its delta: parent links are fixed at
+        # creation, so existing leaf→ancestor translations stay correct
+        # and the table survives.
         star.add_member("Store", "City", "C9", parents={"State": "V"})
+        assert star.rollup_translation("Sales", "Store", "City") is first
+        # An in-place member UPDATE cannot be patched — full rebuild.
+        star.note_member_change("Store", op="update")
         rebuilt = star.rollup_translation("Sales", "Store", "City")
         assert rebuilt is not first
 

@@ -180,7 +180,17 @@ class TestGridIndexCaches:
         cached = loaded_star.layer_grid_index("Airport")
         assert cached is not None
         assert loaded_star.layer_grid_index("Airport") is cached
+        # Feature adds patch the built grid in place (layers are
+        # append-only) instead of dropping it.
         loaded_star.add_feature("Airport", "VLC", Point(3.0, 3.0))
+        patched = loaded_star.layer_grid_index("Airport")
+        assert patched is cached
+        assert len(patched[1]) == 2
+        assert len(patched[0]) == 2
+        hits = patched[0].query_envelope(Point(3.0, 3.0).envelope)
+        assert any(patched[1][i] == Point(3.0, 3.0) for i in hits)
+        # A payload-less bulk notification degrades to drop-and-rebuild.
+        loaded_star.note_feature_change("Airport")
         rebuilt = loaded_star.layer_grid_index("Airport")
-        assert rebuilt is not cached
+        assert rebuilt is not patched
         assert len(rebuilt[1]) == 2

@@ -460,3 +460,124 @@ endWhen
             "IntAirportCity",
             "needsLocation",
         ]
+
+
+class TestAsOfQueries:
+    """PR 9: ``as_of`` reads — body field or ``?as_of=`` query param —
+    answer against the star as it stood at a past generation, through
+    the same error envelope as every other failure."""
+
+    BODY = {"q": "SELECT SUM(UnitSales) FROM Sales BY Product.Family"}
+
+    def _churn(self, engine, world, profile):
+        """Append a copy of a fact row that is *inside* the personalized
+        view, so the live answer provably moves."""
+        star = engine.star
+        session = engine.start_session(
+            profile, location=world.stores[0].location
+        )
+        fact_table = star.fact_table()
+        row = fact_table.row(session.view().fact_rows[0])
+        star.insert_fact(
+            fact_table.fact.name,
+            {d: row[d] for d in fact_table.fact.dimension_names},
+            {m: row[m] for m in fact_table.fact.measures},
+        )
+
+    def test_as_of_param_answers_past_generation(
+        self, portal, profile, world, engine
+    ):
+        token = _login(portal, profile, world)
+        generation = engine.star.generation
+        recorded = portal.handle(
+            "POST", "/api/v1/query", self.BODY, token=token
+        ).json()
+        self._churn(engine, world, profile)
+        live = portal.handle(
+            "POST", "/api/v1/query", self.BODY, token=token
+        ).json()
+        assert live["rows"] != recorded["rows"]
+        replayed = portal.handle(
+            "POST",
+            "/api/v1/query",
+            self.BODY,
+            token=token,
+            query={"as_of": str(generation)},
+        ).json()
+        # Bit-identical to the answer recorded at that generation.
+        assert replayed == recorded
+
+    def test_as_of_body_field_equivalent(self, portal, profile, world, engine):
+        token = _login(portal, profile, world)
+        generation = engine.star.generation
+        recorded = portal.handle(
+            "POST", "/api/v1/query", self.BODY, token=token
+        ).json()
+        self._churn(engine, world, profile)
+        replayed = portal.handle(
+            "POST",
+            "/api/v1/query",
+            {**self.BODY, "as_of": generation},
+            token=token,
+        ).json()
+        assert replayed == recorded
+
+    def test_unavailable_generation_envelope(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        _assert_envelope(
+            portal.handle(
+                "POST",
+                "/api/v1/query",
+                self.BODY,
+                token=token,
+                query={"as_of": "0"},
+            ),
+            400,
+            "as_of_unavailable",
+        )
+
+    def test_future_generation_envelope(self, portal, profile, world, engine):
+        token = _login(portal, profile, world)
+        _assert_envelope(
+            portal.handle(
+                "POST",
+                "/api/v1/query",
+                {**self.BODY, "as_of": engine.star.generation + 1000},
+                token=token,
+            ),
+            400,
+            "as_of_unavailable",
+        )
+
+    def test_invalid_as_of_value_envelope(self, portal, profile, world):
+        token = _login(portal, profile, world)
+        for bad in ("soon", "-1", "1.5"):
+            _assert_envelope(
+                portal.handle(
+                    "POST",
+                    "/api/v1/query",
+                    self.BODY,
+                    token=token,
+                    query={"as_of": bad},
+                ),
+                400,
+                "invalid_request",
+            )
+
+    def test_as_of_answers_are_cached_separately(
+        self, portal, profile, world, engine
+    ):
+        token = _login(portal, profile, world)
+        generation = engine.star.generation
+        portal.handle("POST", "/api/v1/query", self.BODY, token=token)
+        self._churn(engine, world, profile)
+        query = {"as_of": str(generation)}
+        portal.handle(
+            "POST", "/api/v1/query", self.BODY, token=token, query=query
+        )
+        hits_before = portal.service.query_cache_hits
+        repeat = portal.handle(
+            "POST", "/api/v1/query", self.BODY, token=token, query=query
+        )
+        assert repeat.ok
+        assert portal.service.query_cache_hits == hits_before + 1
