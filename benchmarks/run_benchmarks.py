@@ -60,10 +60,25 @@ The EXT8 mix exercises the PR 9 mutation log:
   ``note_*_change`` per mutation).  Both modes must answer
   bit-identically before timing.
 
+The EXT9 mix exercises the PR 10 synthetic workload engine:
+
+* ``ext9_workload_replay`` — a deterministic seeded event stream
+  (cohorted users, clustered login locations, the demo query/selection/
+  layer/recommendation vocabulary, as-of reads) generated for a named
+  scale tier (``--workload-tier``; smoke/small/medium/large) and
+  replayed against the in-process façade *and* a 2-worker pre-fork pool
+  over a shared sqlite backend.  Serial replay on both targets is the
+  identical-response gate; closed-loop replay on the gate-warmed portals
+  is the timing, bracketed by merged ``/api/v1/health`` snapshots so the
+  JSON records window cache-hit rates, view patch/build splits,
+  spill/rehydration counts and (via a ``REPRO_SANITIZE=1`` subprocess
+  probe) lock contention stats.
+
 ``--scale`` picks the world size tier; the tier and the resulting fact
 row count are recorded in the JSON artefact so BENCH_*.json entries
 carry their scale and EXT6's/EXT8's cardinality multiplier is
-reproducible.
+reproducible.  Every record also carries an ``environment`` provenance
+block (python version, cpu count, platform, git sha, generator seed).
 
 Usage::
 
@@ -88,7 +103,6 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.data import (  # noqa: E402
     ALL_PAPER_RULES,
-    WorldConfig,
     WorldGeoSource,
     build_motivating_user_model,
     build_regional_manager_profile,
@@ -107,27 +121,16 @@ from repro.olap import (  # noqa: E402
 from repro.olap.query import execute, execute_reference  # noqa: E402
 from repro.personalization import PersonalizationEngine  # noqa: E402
 from repro.web import PortalApp  # noqa: E402
+from repro.workload.harness import _world_scales  # noqa: E402
+from repro.workload.metrics import environment_provenance  # noqa: E402
 
 THRESHOLD = 3
 QUERY = "SELECT SUM(UnitSales) FROM Sales BY Product.Family"
 
-SCALES = {
-    "small": WorldConfig(seed=7, sales=2_000),
-    "medium": WorldConfig(
-        seed=7,
-        cities_per_state=8,
-        stores_per_city=5,
-        customers_per_city=20,
-        sales=10_000,
-    ),
-    "large": WorldConfig(
-        seed=7,
-        cities_per_state=10,
-        stores_per_city=8,
-        customers_per_city=30,
-        sales=50_000,
-    ),
-}
+# One source of truth for the world-size ladder: the workload harness
+# (repro.workload.harness) defines it, every consumer — this runner, the
+# ``repro workload`` CLI, the EXT9 tiers — reads the same table.
+SCALES = {name: _world_scales()[name] for name in _world_scales()}
 
 
 def build_portal(scale: str):
@@ -604,7 +607,6 @@ def _ext7_timed(send, tokens, rounds):
 
 def _ext7_pool_mode(scale: str, workers: int, rounds: int, gate_rounds: int):
     """Drive one pool topology; returns req/s, gate bodies and stats."""
-    import http.client
     import shutil
     import tempfile
 
@@ -632,11 +634,7 @@ def _ext7_pool_mode(scale: str, workers: int, rounds: int, gate_rounds: int):
         gate_bodies = _ext7_sweep(send, tokens, gate_rounds)
         req_per_s = _ext7_timed(send, tokens, rounds)
         spills = rehydrations = 0
-        for host, port in pool.shard_addresses:
-            conn = http.client.HTTPConnection(host, port, timeout=30)
-            conn.request("GET", "/api/v1/health")
-            health = json.loads(conn.getresponse().read())
-            conn.close()
+        for health in client.shard_health():
             store = health["state_backend"]["sessions"]
             spills += store["spills"]
             rehydrations += store["rehydrations"]
@@ -868,12 +866,172 @@ def bench_ext7(scale: str, rounds: int) -> dict:
     }
 
 
+# -- EXT9: synthetic workload replay at scale tiers --------------------------------
+#
+# The PR 10 tentpole: a deterministic, seedable event stream (cohorted
+# synthetic users with clustered login locations, the journal-vocabulary
+# query mix, selection reports, layer and recommendation fetches, as-of
+# reads) replayed against the two serving topologies items 1-2 were
+# built for — the in-process façade and a real 2-worker pre-fork pool
+# over a shared sqlite backend.  Before timing, the identical-response
+# gate: the same stream replayed *serially* on both targets must produce
+# byte-identical bodies (login tokens stripped).  Timing is closed-loop
+# (the tier's actor count) on the gate-warmed portals; the collector
+# brackets each timed run with merged health snapshots, so the JSON
+# carries window cache-hit rates, view patch/build splits and backend
+# spill/rehydration counts.  Lock contention/hold stats come from a
+# subprocess probe (the sanitizer must instrument locks from process
+# start), replaying the same stream closed-loop under REPRO_SANITIZE=1.
+
+
+def _ext9_contention_probe(tier_obj, stream, actors: int) -> dict | None:
+    """Replay the stream in a REPRO_SANITIZE=1 subprocess; return the
+    lock-contention summary from its health window (or an error stub —
+    the probe is diagnostic, it never fails the benchmark)."""
+    import shutil
+    import subprocess
+    import tempfile
+
+    probe_dir = tempfile.mkdtemp(prefix="repro-ext9-probe-")
+    try:
+        stream_path = os.path.join(probe_dir, "stream.jsonl")
+        Path(stream_path).write_text(stream.to_jsonl())
+        env = dict(os.environ, REPRO_SANITIZE="1")
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "workload",
+                "replay",
+                stream_path,
+                "--world-scale",
+                tier_obj.world_scale,
+                "--mode",
+                "closed",
+                "--actors",
+                str(actors),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=3600,
+        )
+        if proc.returncode != 0:
+            return {"error": proc.stderr.strip()[-500:]}
+        return json.loads(proc.stdout)["health_window"]["locks"]
+    finally:
+        shutil.rmtree(probe_dir, ignore_errors=True)
+
+
+def bench_ext9(workload_tier: str) -> dict:
+    import shutil
+    import tempfile
+
+    from repro.cluster.backend import SqliteBackend
+    from repro.cluster.pool import WorkerPool
+    from repro.workload import (
+        ClusterTarget,
+        InProcessTarget,
+        ReplayDriver,
+        build_tier_world,
+        build_workload_portal,
+        generator_for_tier,
+        health_window,
+        merge_health,
+        tier,
+    )
+
+    tier_obj = tier(workload_tier)
+    world = build_tier_world(tier_obj)
+    stream = generator_for_tier(tier_obj, world).stream()
+    active = stream.active_users()
+    fact_rows = world.config.sales
+    actors = min(8, tier_obj.config.concurrency)
+    description = stream.describe(fact_rows=fact_rows)
+
+    # In-process façade: serial gate replay, then closed-loop timing.
+    in_target = InProcessTarget(build_workload_portal(world, active))
+    in_driver = ReplayDriver(in_target)
+    in_driver.resolve_as_of()
+    in_gate, gate_bodies = in_driver.replay_serial(stream, collect_bodies=True)
+    assert in_gate.errors == 0, f"EXT9 in-process gate: {in_gate.error_statuses}"
+    in_before = merge_health(in_target.health())
+    in_timed = in_driver.replay_closed(stream, actors=actors)
+    in_window = health_window(in_before, merge_health(in_target.health()))
+
+    # 2-worker pre-fork pool over a shared sqlite backend: same gate
+    # stream serially — every body must match the in-process replay —
+    # then the same closed-loop timing.
+    state_dir = tempfile.mkdtemp(prefix="repro-ext9-")
+    backend = SqliteBackend(os.path.join(state_dir, "state.sqlite"))
+    pool = WorkerPool(
+        lambda worker_id: build_workload_portal(world, active, backend=backend),
+        workers=2,
+    )
+    try:
+        pool.wait_ready(timeout=300.0)
+        cluster_target = ClusterTarget(pool)
+        cluster_driver = ReplayDriver(cluster_target)
+        cluster_driver.resolve_as_of()
+        cluster_gate, cluster_bodies = cluster_driver.replay_serial(
+            stream, collect_bodies=True
+        )
+        assert cluster_gate.errors == 0, (
+            f"EXT9 cluster gate: {cluster_gate.error_statuses}"
+        )
+        assert cluster_bodies == gate_bodies, (
+            "EXT9: cluster responses differ from in-process responses"
+        )
+        cluster_before = merge_health(cluster_target.health())
+        cluster_timed = cluster_driver.replay_closed(stream, actors=actors)
+        cluster_window = health_window(
+            cluster_before, merge_health(cluster_target.health())
+        )
+        cluster_target.close()
+    finally:
+        pool.stop()
+        backend.close()
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+    contention = _ext9_contention_probe(tier_obj, stream, actors)
+    return {
+        "tier": tier_obj.name,
+        "seed": stream.seed,
+        "world_scale": tier_obj.world_scale,
+        "fact_rows": fact_rows,
+        "population_users": description["population_users"],
+        "active_users": description["active_users"],
+        "sessions": description["sessions"],
+        "events": description["events"],
+        "events_by_kind": description["events_by_kind"],
+        "as_of_reads": description["as_of_reads"],
+        "facts_equivalent": description["facts_equivalent"],
+        "actors": actors,
+        "gate_requests": in_gate.requests,
+        "in_process": {
+            "closed": in_timed.to_dict(),
+            "health_window": in_window,
+        },
+        "cluster_2w": {
+            "closed": cluster_timed.to_dict(),
+            "health_window": cluster_window,
+        },
+        "contention": contention,
+    }
+
+
 def run(
     scale: str,
     rounds: int,
     out_path: str | None,
     ext6_multiplier: int = 100,
     ext7_rounds: int = 40,
+    workload_tier: str = "smoke",
 ) -> dict:
     world, star, engine, profile, app, demo_tokens = build_portal(scale)
     token = login(app, profile, world)
@@ -901,8 +1059,9 @@ def run(
         assert uncached == cached, f"{name}: cached response differs"
 
     results: dict = {
-        "series": "EXT3+EXT4+EXT5+EXT6+EXT7+EXT8",
+        "series": "EXT3+EXT4+EXT5+EXT6+EXT7+EXT8+EXT9",
         "scale": scale,
+        "workload_tier": workload_tier,
         "fact_rows": len(star.fact_table()),
         "rounds": per_mix_rounds,
         "python": platform.python_version(),
@@ -911,6 +1070,9 @@ def run(
         # wrappers are opt-in, so timings here are only comparable to
         # committed records carrying the same flag.
         "sanitize": os.environ.get("REPRO_SANITIZE") == "1",
+        # Host/interpreter/git provenance: what makes this record
+        # comparable (or not) to the BENCH_*.json trajectory.
+        "environment": environment_provenance(),
         "mixes": {},
     }
     for name, (fn, weight) in mixes.items():
@@ -997,6 +1159,21 @@ def run(
         f"{ext8['patched_view_store']}"
     )
 
+    results["mixes"]["ext9_workload_replay"] = ext9 = bench_ext9(workload_tier)
+    results["rounds"]["ext9_workload_replay"] = ext9["events"]
+    results["environment"]["generator_seed"] = ext9["seed"]
+    print(
+        f"[ext9_workload_replay] tier {ext9['tier']}: "
+        f"{ext9['population_users']:,} users -> {ext9['sessions']} sessions, "
+        f"{ext9['events']} events ({ext9['facts_equivalent']:,} "
+        f"facts-equivalent): in-process "
+        f"{ext9['in_process']['closed']['req_per_s']:,.0f} req/s "
+        f"(p95 {ext9['in_process']['closed']['latency']['p95_ms']}ms), "
+        f"2-worker pool "
+        f"{ext9['cluster_2w']['closed']['req_per_s']:,.0f} req/s "
+        f"(p95 {ext9['cluster_2w']['closed']['latency']['p95_ms']}ms)"
+    )
+
     if out_path:
         Path(out_path).write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {out_path}")
@@ -1011,18 +1188,26 @@ def main() -> int:
         "--smoke", action="store_true", help="tiny round counts for CI"
     )
     parser.add_argument("--out", default=None, help="JSON artefact path")
+    parser.add_argument(
+        "--workload-tier",
+        default=None,
+        help="EXT9 scale tier (smoke/small/medium/large; default: smoke "
+        "under --smoke, else medium)",
+    )
     args = parser.parse_args()
     rounds = 100 if args.smoke else args.rounds
     # Smoke runs keep EXT6 at small cardinality so CI can afford it; the
     # 100x claim is only asserted on full runs.
     multiplier = 10 if args.smoke else 100
     ext7_rounds = 6 if args.smoke else max(args.rounds // 50, 20)
+    workload_tier = args.workload_tier or ("smoke" if args.smoke else "medium")
     results = run(
         args.scale,
         rounds,
         args.out,
         ext6_multiplier=multiplier,
         ext7_rounds=ext7_rounds,
+        workload_tier=workload_tier,
     )
     # The PR 2 acceptance bar: repeated views must be >= 5x faster.
     ext3a = results["mixes"]["ext3a_repeated_view"]
@@ -1094,6 +1279,20 @@ def main() -> int:
     if not args.smoke and ext8["speedup"] < 3.0:
         print(f"FAIL: EXT8 speedup {ext8['speedup']}x < 3x", file=sys.stderr)
         return 1
+    # The PR 10 bars are structural (the identical-response gate between
+    # the in-process façade and the 2-worker pool already ran inside
+    # bench_ext9): every timed replay must finish error-free on both
+    # targets, at every tier.
+    ext9 = results["mixes"]["ext9_workload_replay"]
+    for target_name in ("in_process", "cluster_2w"):
+        errors = ext9[target_name]["closed"]["errors"]
+        if errors:
+            print(
+                f"FAIL: EXT9 {target_name} replay had {errors} errors: "
+                f"{ext9[target_name]['closed']['error_statuses']}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -18,6 +18,12 @@ Small operational commands over the reproduction:
 ``lint``
     Run the concurrency / cache-correctness lint suite against the
     committed baseline (see ``repro.analysis``).
+``workload``
+    Synthetic traffic: ``generate`` a deterministic event stream for a
+    scale tier, ``describe`` a stream file, or ``replay`` one against a
+    freshly built portal (optionally a multi-process worker pool),
+    printing the latency/throughput/cache report as JSON (see
+    ``repro.workload``).
 """
 
 from __future__ import annotations
@@ -153,6 +159,132 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint
 
     return run_lint(args)
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    import dataclasses as _dataclasses
+    import json
+
+    from repro.workload import (
+        EventStream,
+        default_profile,
+        demo_journal_profile,
+        generator_for_tier,
+        tier,
+    )
+    from repro.workload.harness import build_tier_world
+
+    if args.action == "generate":
+        selected = tier(args.tier)
+        if args.stream_seed is not None:
+            selected = _dataclasses.replace(
+                selected,
+                config=_dataclasses.replace(
+                    selected.config, seed=args.stream_seed
+                ),
+            )
+        profile = (
+            demo_journal_profile()
+            if args.profile == "journal"
+            else default_profile()
+        )
+        world = build_tier_world(selected)
+        stream = generator_for_tier(selected, world, profile=profile).stream()
+        Path(args.output).write_text(stream.to_jsonl())
+        fact_rows = world.config.sales
+        print(
+            json.dumps(
+                {"wrote": args.output, **stream.describe(fact_rows=fact_rows)},
+                indent=2,
+            )
+        )
+        return 0
+
+    stream = EventStream.from_jsonl(Path(args.stream).read_text())
+    if args.action == "describe":
+        print(json.dumps(stream.describe(), indent=2))
+        return 0
+    return _workload_replay(args, stream)
+
+
+def _workload_replay(args: argparse.Namespace, stream) -> int:
+    """Replay a stream file against a freshly built matching portal."""
+    import dataclasses as _dataclasses
+    import json
+    import os
+    import shutil
+    import tempfile
+
+    from repro.workload import (
+        ClusterTarget,
+        InProcessTarget,
+        ReplayDriver,
+        health_window,
+        merge_health,
+    )
+    from repro.workload.harness import WORLD_SCALES, build_workload_portal
+
+    config = stream.header.get("config", {})
+    base = WORLD_SCALES[args.world_scale]
+    world_config = _dataclasses.replace(
+        base, sales=base.sales * int(config.get("fact_multiplier", 1))
+    )
+    from repro.data import generate_world
+
+    world = generate_world(world_config)
+    datamarts = tuple(config.get("datamarts") or ("default",))
+    active = stream.active_users()
+
+    pool = backend = state_dir = None
+    if args.workers > 1:
+        from repro.cluster.backend import SqliteBackend
+        from repro.cluster.pool import WorkerPool
+
+        state_dir = tempfile.mkdtemp(prefix="repro-workload-")
+        backend = SqliteBackend(os.path.join(state_dir, "state.sqlite"))
+        pool = WorkerPool(
+            lambda worker_id: build_workload_portal(
+                world, active, datamarts=datamarts, backend=backend
+            ),
+            workers=args.workers,
+        )
+        pool.wait_ready(timeout=180.0)
+        target = ClusterTarget(pool)
+    else:
+        target = InProcessTarget(
+            build_workload_portal(world, active, datamarts=datamarts)
+        )
+    try:
+        driver = ReplayDriver(target)
+        driver.resolve_as_of()
+        before = merge_health(target.health())
+        if args.mode == "serial":
+            report, _bodies = driver.replay_serial(stream)
+        elif args.mode == "closed":
+            report = driver.replay_closed(stream, actors=args.actors)
+        else:
+            report = driver.replay_open(
+                stream, rate_per_s=args.rate, senders=args.actors
+            )
+        after = merge_health(target.health())
+        print(
+            json.dumps(
+                {
+                    "report": report.to_dict(),
+                    "health_window": health_window(before, after),
+                },
+                indent=2,
+            )
+        )
+        return 1 if report.errors else 0
+    finally:
+        target.close()
+        if pool is not None:
+            pool.stop()
+        if backend is not None:
+            backend.close()
+        if state_dir is not None:
+            shutil.rmtree(state_dir, ignore_errors=True)
 
 
 def _build_portal_app(args, backend=None):  # pragma: no cover - network
@@ -355,6 +487,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint_cmd)
     lint_cmd.set_defaults(func=cmd_lint)
+
+    workload_cmd = sub.add_parser(
+        "workload", help="generate / describe / replay synthetic traffic"
+    )
+    workload_sub = workload_cmd.add_subparsers(dest="action", required=True)
+
+    generate_cmd = workload_sub.add_parser(
+        "generate", help="write a deterministic event stream for a tier"
+    )
+    generate_cmd.add_argument(
+        "--tier",
+        default="smoke",
+        help="scale tier (smoke/small/medium/large)",
+    )
+    generate_cmd.add_argument(
+        "--profile",
+        choices=("builtin", "journal"),
+        default="builtin",
+        help="cohort blueprint: hand-written, or mined from the demo "
+        "workload's journal (reverse ETL)",
+    )
+    generate_cmd.add_argument(
+        "--stream-seed",
+        type=int,
+        default=None,
+        help="override the tier's generator seed",
+    )
+    generate_cmd.add_argument("-o", "--output", default="workload.jsonl")
+    generate_cmd.set_defaults(func=cmd_workload)
+
+    describe_cmd = workload_sub.add_parser(
+        "describe", help="summarize a stream file"
+    )
+    describe_cmd.add_argument("stream", help="stream JSONL file")
+    describe_cmd.set_defaults(func=cmd_workload)
+
+    replay_cmd = workload_sub.add_parser(
+        "replay", help="replay a stream against a fresh matching portal"
+    )
+    replay_cmd.add_argument("stream", help="stream JSONL file")
+    replay_cmd.add_argument(
+        "--world-scale",
+        choices=("small", "medium", "large"),
+        default="small",
+        help="world size to build (the stream header's fact multiplier "
+        "is applied on top)",
+    )
+    replay_cmd.add_argument(
+        "--mode",
+        choices=("serial", "closed", "open"),
+        default="closed",
+    )
+    replay_cmd.add_argument(
+        "--actors",
+        type=int,
+        default=4,
+        help="concurrent actors (closed) / sender threads (open)",
+    )
+    replay_cmd.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="open-loop arrival rate, requests per second",
+    )
+    replay_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=">1 replays through a pre-fork worker pool over sqlite",
+    )
+    replay_cmd.set_defaults(func=cmd_workload)
     return parser
 
 

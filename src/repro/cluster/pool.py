@@ -238,6 +238,29 @@ class ClusterClient:
                 )
         return response.status, data
 
+    def shard_health(self) -> list[dict]:
+        """One ``/api/v1/health`` snapshot per worker, in worker order.
+
+        The round-robin socket would answer from *some* worker; per-shard
+        snapshots are what pool-wide accounting (spills, rehydrations,
+        cache counters — see :mod:`repro.workload.metrics`) needs.
+        """
+        snapshots = []
+        for address in self.pool.shard_addresses:
+            conn = self._connection(address)
+            try:
+                conn.request("GET", "/api/v1/health")
+                response = conn.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, OSError):
+                conn.close()
+                conn = self._connection(address)
+                conn.request("GET", "/api/v1/health")
+                response = conn.getresponse()
+                raw = response.read()
+            snapshots.append(json.loads(raw) if raw else {})
+        return snapshots
+
     def close(self) -> None:
         cache = getattr(self._local, "connections", None)
         if cache:

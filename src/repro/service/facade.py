@@ -65,6 +65,15 @@ from repro.service.sessions import InMemorySessionStore, SessionRecord, SessionS
 __all__ = ["PersonalizationService", "CellSetPayload"]
 
 
+def _hit_rate(hits: int, misses: int) -> float | None:
+    """Derived cache efficiency, ``None`` before any lookup happened
+    (0/0 is "no data", not "0% effective")."""
+    total = hits + misses
+    if total <= 0:
+        return None
+    return round(hits / total, 4)
+
+
 class CellSetPayload(NamedTuple):
     """Pre-pagination query result, the unit the LRU query cache stores.
 
@@ -571,6 +580,9 @@ class PersonalizationService:
             "max_size": self.query_cache_size,
             "hits": self.query_cache_hits,
             "misses": self.query_cache_misses,
+            "hit_rate": _hit_rate(
+                self.query_cache_hits, self.query_cache_misses
+            ),
         }
         with self._lock:
             sessions_started = dict(self._sessions_started)
@@ -585,7 +597,7 @@ class PersonalizationService:
                     # Shared materialized-view store counters (None when
                     # the tenant's engine runs with view_store_size=0).
                     "view_store": (
-                        dm.engine.view_store.stats()
+                        self._view_store_stats(dm.engine.view_store)
                         if dm.engine.view_store is not None
                         else None
                     ),
@@ -604,7 +616,7 @@ class PersonalizationService:
             # load balancer and its tests read.
             "state_backend": self._state_backend_stats(),
             "journal": self.journal.stats(),
-            "recommender": self.recommender.stats(),
+            "recommender": self._recommender_stats(),
             # Lock acquisition/contention counters and the lock-order
             # graph summary, when the sanitizer is running
             # (REPRO_SANITIZE=1); null in normal operation.
@@ -630,6 +642,22 @@ class PersonalizationService:
     def sessions_started(self, datamart: str) -> int:
         with self._lock:
             return self._sessions_started.get(datamart, 0)
+
+    @staticmethod
+    def _view_store_stats(view_store) -> dict:
+        """View-store counters plus the derived ``hit_rate`` — health
+        consumers (the workload metrics collector, dashboards) read the
+        rate instead of re-deriving it from the raw counters."""
+        stats = view_store.stats()
+        stats["hit_rate"] = _hit_rate(stats["hits"], stats["misses"])
+        return stats
+
+    def _recommender_stats(self) -> dict:
+        stats = self.recommender.stats()
+        stats["memo_hit_rate"] = _hit_rate(
+            stats["memo_hits"], stats["memo_misses"]
+        )
+        return stats
 
     @staticmethod
     def _mutation_stats(engine: PersonalizationEngine) -> dict:

@@ -1,0 +1,417 @@
+"""Cohort profiles: who the synthetic users are and what they ask for.
+
+A :class:`WorkloadProfile` is a population blueprint — K cohorts, each a
+:class:`CohortSpec` naming its share of the population, its GeoMDQL
+query vocabulary (with draw weights), the layers it fetches, the spatial
+selection reports it files, its event-kind mix, and (optionally) the
+spatial anchor its members' login locations cluster around.
+
+Profiles come from two places:
+
+* :func:`default_profile` — a hand-written three-cohort blueprint over
+  the paper's sales datamart vocabulary (the demo analysts' queries),
+  used when no journal is available;
+* :func:`profile_from_journal` — reverse ETL over a recorded
+  :class:`~repro.reco.journal.WorkloadJournal`: organic users are
+  greedily clustered by the Jaccard similarity of their event
+  vocabularies (queries, layers, selection reports) and each cluster
+  becomes a cohort whose query weights are the cluster's observed
+  frequencies.  Synthetic traffic generated from such a profile is
+  statistically faithful to the organic traffic it was mined from —
+  the same event vocabulary, in the same proportions.
+
+Everything here is plain data: deterministic ordering throughout (the
+generator's byte-identical-stream guarantee depends on it), stdlib only,
+JSON round-trippable via ``to_dict``/``from_dict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "EVENT_KINDS",
+    "CohortSpec",
+    "WorkloadProfile",
+    "default_profile",
+    "profile_from_journal",
+    "candidate_locations",
+]
+
+#: Replayable event kinds a cohort mix can weight (besides the implicit
+#: ``login``/``logout`` framing the generator emits per session).
+EVENT_KINDS = ("view", "query", "selection", "layer", "recommendations")
+
+
+@dataclass(frozen=True)
+class CohortSpec:
+    """One cohort: a population share plus its request vocabulary.
+
+    ``mix`` maps event kinds (:data:`EVENT_KINDS`) to draw weights; kinds
+    whose vocabulary is empty (no ``layers``, no ``selections``) are
+    skipped at draw time regardless of weight.  ``anchor`` is a
+    fractional ``(x, y)`` position inside the candidate-location bounding
+    box — members log in near it, giving the cohort a clustered spatial
+    envelope — and ``spread`` is the cluster's standard deviation as a
+    fraction of the box extent.  ``anchor=None`` logs members in at
+    uniformly drawn candidates (no skew).
+    """
+
+    name: str
+    weight: float
+    queries: tuple[str, ...]
+    query_weights: tuple[float, ...] = ()
+    layers: tuple[str, ...] = ()
+    selections: tuple[tuple[str, str], ...] = ()
+    mix: tuple[tuple[str, float], ...] = (
+        ("view", 4.0),
+        ("query", 2.0),
+        ("selection", 0.5),
+        ("layer", 0.5),
+        ("recommendations", 0.5),
+    )
+    as_of_rate: float = 0.0
+    anchor: tuple[float, float] | None = None
+    spread: float = 0.05
+    #: Organic users this cohort was mined from (journal profiles only).
+    origin_users: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ReproError(f"cohort {self.name!r}: weight must be positive")
+        if not self.queries:
+            raise ReproError(f"cohort {self.name!r}: needs at least one query")
+        weights = self.query_weights or tuple(1.0 for _ in self.queries)
+        if len(weights) != len(self.queries):
+            raise ReproError(
+                f"cohort {self.name!r}: query_weights length mismatch"
+            )
+        object.__setattr__(self, "query_weights", weights)
+        if not 0.0 <= self.as_of_rate <= 1.0:
+            raise ReproError(f"cohort {self.name!r}: as_of_rate not in [0, 1]")
+        kinds = [kind for kind, _w in self.mix]
+        unknown = set(kinds) - set(EVENT_KINDS)
+        if unknown:
+            raise ReproError(
+                f"cohort {self.name!r}: unknown mix kinds {sorted(unknown)}"
+            )
+
+    def mix_weights(self) -> dict[str, float]:
+        """The draw mix restricted to kinds this cohort can actually
+        issue (a kind with an empty vocabulary draws nothing)."""
+        out: dict[str, float] = {}
+        for kind, weight in self.mix:
+            if weight <= 0:
+                continue
+            if kind == "layer" and not self.layers:
+                continue
+            if kind == "selection" and not self.selections:
+                continue
+            out[kind] = out.get(kind, 0.0) + weight
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "queries": list(self.queries),
+            "query_weights": list(self.query_weights),
+            "layers": list(self.layers),
+            "selections": [list(pair) for pair in self.selections],
+            "mix": [[kind, weight] for kind, weight in self.mix],
+            "as_of_rate": self.as_of_rate,
+            "anchor": list(self.anchor) if self.anchor is not None else None,
+            "spread": self.spread,
+            "origin_users": list(self.origin_users),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CohortSpec":
+        anchor = data.get("anchor")
+        return cls(
+            name=str(data["name"]),
+            weight=float(data["weight"]),  # type: ignore[arg-type]
+            queries=tuple(data["queries"]),  # type: ignore[arg-type]
+            query_weights=tuple(data.get("query_weights") or ()),
+            layers=tuple(data.get("layers") or ()),
+            selections=tuple(
+                (pair[0], pair[1]) for pair in data.get("selections") or ()
+            ),
+            mix=tuple(
+                (kind, float(weight)) for kind, weight in data["mix"]  # type: ignore[union-attr]
+            ),
+            as_of_rate=float(data.get("as_of_rate", 0.0)),  # type: ignore[arg-type]
+            anchor=(
+                (float(anchor[0]), float(anchor[1]))  # type: ignore[index]
+                if anchor is not None
+                else None
+            ),
+            spread=float(data.get("spread", 0.05)),  # type: ignore[arg-type]
+            origin_users=tuple(data.get("origin_users") or ()),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A population blueprint: cohorts plus where they came from."""
+
+    cohorts: tuple[CohortSpec, ...]
+    source: str = "builtin"
+
+    def __post_init__(self) -> None:
+        if not self.cohorts:
+            raise ReproError("a workload profile needs at least one cohort")
+        names = [cohort.name for cohort in self.cohorts]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate cohort names: {sorted(names)}")
+
+    def cohort(self, name: str) -> CohortSpec:
+        for spec in self.cohorts:
+            if spec.name == name:
+                return spec
+        raise ReproError(f"profile has no cohort {name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "cohorts": [cohort.to_dict() for cohort in self.cohorts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkloadProfile":
+        return cls(
+            cohorts=tuple(
+                CohortSpec.from_dict(entry) for entry in data["cohorts"]  # type: ignore[union-attr]
+            ),
+            source=str(data.get("source", "builtin")),
+        )
+
+
+# -- built-in blueprint -------------------------------------------------------
+
+#: The demo analysts' vocabulary (kept literal so the profile stands on
+#: its own — the generator must not import the demo fixtures).
+_SHARED_QUERY = "SELECT SUM(UnitSales) FROM Sales BY Product.Family"
+_CITY_QUERY = "SELECT SUM(StoreSales) FROM Sales BY Store.City"
+_NOISE_QUERIES = (
+    "SELECT SUM(StoreCost) FROM Sales BY Time.Month",
+    "SELECT SUM(UnitSales) FROM Sales BY Customer.City",
+)
+_SELECTION = (
+    "GeoMD.Store.City",
+    "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km",
+)
+
+
+def default_profile() -> WorkloadProfile:
+    """Three cohorts over the paper's sales vocabulary.
+
+    *analysts* mirror Ana/Bruno (roll-ups, the airport selection, the
+    ``Airport`` layer, occasional recommendations and as-of reads) and
+    cluster in the south-west of the world; *planners* run the per-city
+    revenue roll-up from the north-east; *wanderers* run the noise
+    queries from anywhere.
+    """
+    return WorkloadProfile(
+        source="builtin",
+        cohorts=(
+            CohortSpec(
+                name="analysts",
+                weight=0.5,
+                queries=(_SHARED_QUERY, _CITY_QUERY),
+                query_weights=(2.0, 1.0),
+                layers=("Airport",),
+                selections=(_SELECTION,),
+                as_of_rate=0.1,
+                anchor=(0.25, 0.3),
+                spread=0.08,
+            ),
+            CohortSpec(
+                name="planners",
+                weight=0.3,
+                queries=(_CITY_QUERY,),
+                selections=(_SELECTION,),
+                mix=(
+                    ("view", 5.0),
+                    ("query", 2.0),
+                    ("selection", 0.25),
+                    ("recommendations", 0.25),
+                ),
+                anchor=(0.75, 0.7),
+                spread=0.06,
+            ),
+            CohortSpec(
+                name="wanderers",
+                weight=0.2,
+                queries=_NOISE_QUERIES,
+                mix=(("view", 3.0), ("query", 2.0), ("recommendations", 0.5)),
+            ),
+        ),
+    )
+
+
+# -- reverse ETL over the workload journal ------------------------------------
+
+
+@dataclass
+class _UserVocabulary:
+    """One organic user's journaled event vocabulary."""
+
+    user_id: str
+    query_counts: dict[str, int] = field(default_factory=dict)
+    layers: set[str] = field(default_factory=set)
+    selections: set[tuple[str, str]] = field(default_factory=set)
+    kind_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def signature(self) -> frozenset:
+        """The identity the clustering compares: what this user asks for."""
+        return frozenset(
+            [("query", q) for q in self.query_counts]
+            + [("layer", layer) for layer in self.layers]
+            + [("selection",) + pair for pair in self.selections]
+        )
+
+
+def _jaccard(a: frozenset, b: frozenset) -> float:
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+def profile_from_journal(
+    journal,
+    datamart: str,
+    *,
+    similarity: float = 0.5,
+    view_weight: float = 4.0,
+    reco_weight: float = 0.5,
+    as_of_rate: float = 0.05,
+) -> WorkloadProfile:
+    """Mine cohort parameters from a recorded workload journal.
+
+    The reverse-ETL pass: every journaled user's event vocabulary
+    (distinct queries with frequencies, fetched layers, filed selection
+    reports) becomes a signature; users are greedily clustered —
+    in sorted order, a user joins the first cluster whose union
+    signature is at least ``similarity`` Jaccard-similar, else founds a
+    new one — and each cluster becomes one :class:`CohortSpec`:
+
+    * ``weight`` — the cluster's share of the journaled population;
+    * ``queries``/``query_weights`` — the cluster's union vocabulary,
+      weighted by observed run counts (so replay reproduces the organic
+      query distribution, not just its support);
+    * ``layers``/``selections`` — the cluster unions, sorted;
+    * ``mix`` — the journaled kind frequencies per member, plus
+      ``view_weight`` views and ``reco_weight`` recommendation fetches
+      (neither is journaled: views are reads of the session's own
+      materialized view, recommendations never journal by design).
+
+    The journal records no coordinates, so mined cohorts carry no
+    spatial anchor: pass login-location candidates to the generator to
+    decide where the synthetic members live.
+    """
+    users = journal.users(datamart)
+    if not users:
+        raise ReproError(
+            f"journal has no events for datamart {datamart!r}; "
+            "profile_from_journal needs recorded traffic to mine"
+        )
+    vocabularies: list[_UserVocabulary] = []
+    for user_id in users:
+        vocabulary = _UserVocabulary(user_id)
+        for event in journal.events(datamart, user_id):
+            vocabulary.kind_counts[event.kind] = (
+                vocabulary.kind_counts.get(event.kind, 0) + 1
+            )
+            if event.kind == "query":
+                text = event.payload["q"]
+                vocabulary.query_counts[text] = (
+                    vocabulary.query_counts.get(text, 0) + 1
+                )
+            elif event.kind == "layer":
+                vocabulary.layers.add(event.payload["layer"])
+            elif event.kind == "selection":
+                vocabulary.selections.add(
+                    (event.payload["target"], event.payload["condition"])
+                )
+        if vocabulary.signature:
+            vocabularies.append(vocabulary)
+    if not vocabularies:
+        raise ReproError(
+            f"datamart {datamart!r}: journaled users have empty vocabularies"
+        )
+
+    clusters: list[list[_UserVocabulary]] = []
+    for vocabulary in vocabularies:  # users arrive sorted by id
+        for cluster in clusters:
+            union = frozenset().union(*(v.signature for v in cluster))
+            if _jaccard(vocabulary.signature, union) >= similarity:
+                cluster.append(vocabulary)
+                break
+        else:
+            clusters.append([vocabulary])
+
+    total_users = sum(len(cluster) for cluster in clusters)
+    cohorts = []
+    for index, cluster in enumerate(clusters):
+        query_counts: dict[str, int] = {}
+        layers: set[str] = set()
+        selections: set[tuple[str, str]] = set()
+        kind_counts: dict[str, int] = {}
+        for member in cluster:
+            for text, count in member.query_counts.items():
+                query_counts[text] = query_counts.get(text, 0) + count
+            layers |= member.layers
+            selections |= member.selections
+            for kind, count in member.kind_counts.items():
+                kind_counts[kind] = kind_counts.get(kind, 0) + count
+        queries = sorted(query_counts) or [_SHARED_QUERY]
+        members = len(cluster)
+        mix = [
+            ("view", view_weight),
+            ("query", kind_counts.get("query", 0) / members or 1.0),
+            ("selection", kind_counts.get("selection", 0) / members),
+            ("layer", kind_counts.get("layer", 0) / members),
+            ("recommendations", reco_weight),
+        ]
+        cohorts.append(
+            CohortSpec(
+                name=f"journal-cohort-{index + 1}",
+                weight=members / total_users,
+                queries=tuple(queries),
+                query_weights=tuple(
+                    float(query_counts.get(text, 1)) for text in queries
+                ),
+                layers=tuple(sorted(layers)),
+                selections=tuple(sorted(selections)),
+                mix=tuple(
+                    (kind, weight) for kind, weight in mix if weight > 0
+                ),
+                as_of_rate=as_of_rate,
+                origin_users=tuple(
+                    sorted(member.user_id for member in cluster)
+                ),
+            )
+        )
+    return WorkloadProfile(
+        cohorts=tuple(cohorts), source=f"journal:{datamart}"
+    )
+
+
+def candidate_locations(points: Sequence) -> tuple[tuple[float, float], ...]:
+    """Normalize a sequence of points/pairs into location candidates."""
+    out = []
+    for point in points:
+        if hasattr(point, "x") and hasattr(point, "y"):
+            out.append((float(point.x), float(point.y)))
+        else:
+            x, y = point
+            out.append((float(x), float(y)))
+    if not out:
+        raise ReproError("need at least one candidate login location")
+    return tuple(out)

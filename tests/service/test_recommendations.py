@@ -198,6 +198,7 @@ class TestHealth:
             "max_size",
             "hits",
             "misses",
+            "hit_rate",
         }
         assert payload["journal"]["sales"]["users"] == 3
         assert payload["journal"]["sales"]["events"] > 0
@@ -205,6 +206,7 @@ class TestHealth:
             "memo_size",
             "memo_hits",
             "memo_misses",
+            "memo_hit_rate",
         }
 
     def test_unknown_recommendation_kind_is_404(self, portal, tokens):

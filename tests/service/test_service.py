@@ -228,3 +228,53 @@ class TestHealthLocks:
         assert locks["cycles"] == []
         assert locks["locks"]["PersonalizationService._lock"]["instances"] == 1
         assert "InMemorySessionStore._lock" in locks["locks"]
+
+
+class TestHealthHitRates:
+    """Health reports derived hit *rates* next to the raw counters, so
+    collectors (the workload metrics scraper, dashboards) never
+    re-derive them."""
+
+    def test_rates_null_before_any_lookup(self, service):
+        health = service.health()
+        assert health["query_cache"]["hit_rate"] is None
+        assert health["recommender"]["memo_hit_rate"] is None
+
+    def test_query_cache_hit_rate_matches_counters(self, service, profile, world):
+        token = _login(service, profile, world).token
+        request = QueryRequest(
+            q="SELECT SUM(UnitSales) FROM Sales BY Product.Family"
+        )
+        service.query(token, request)  # miss (cold cache)
+        service.query(token, request)  # hit
+        cache = service.health()["query_cache"]
+        total = cache["hits"] + cache["misses"]
+        assert total >= 2 and cache["hits"] >= 1
+        assert cache["hit_rate"] == pytest.approx(
+            cache["hits"] / total, abs=1e-4
+        )
+
+    def test_view_store_hit_rate_alongside_raw_counters(
+        self, service, profile, world
+    ):
+        _login(service, profile, world)
+        _login(service, profile, world)  # same selection: shared view hit
+        health = service.health()
+        block = next(
+            dm for dm in health["datamarts"] if dm["name"] == "sales"
+        )["view_store"]
+        assert block["hits"] >= 1
+        assert block["hit_rate"] == pytest.approx(
+            block["hits"] / (block["hits"] + block["misses"]), abs=1e-4
+        )
+
+    def test_recommender_memo_rate_after_lookups(self, service, profile, world):
+        token = _login(service, profile, world).token
+        service.recommendations(token, "queries")  # miss
+        service.recommendations(token, "queries")  # memo hit
+        reco = service.health()["recommender"]
+        total = reco["memo_hits"] + reco["memo_misses"]
+        assert total >= 2
+        assert reco["memo_hit_rate"] == pytest.approx(
+            reco["memo_hits"] / total, abs=1e-4
+        )

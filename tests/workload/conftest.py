@@ -1,0 +1,57 @@
+"""Workload-subsystem fixtures: a tiny tier, its world and stream."""
+
+import dataclasses
+
+import pytest
+
+from repro.data import WorldConfig, generate_world
+from repro.workload import (
+    WORKLOAD_TENANTS,
+    GeneratorConfig,
+    WorkloadGenerator,
+    build_workload_portal,
+    default_profile,
+)
+from repro.workload.cohorts import candidate_locations
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    """A small deterministic world shared by replay tests."""
+    return generate_world(WorldConfig(seed=7, sales=500))
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return GeneratorConfig(
+        seed=42,
+        users=50,
+        sessions=8,
+        events_per_session=(4, 7),
+        concurrency=3,
+        datamarts=WORKLOAD_TENANTS[:2],
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_stream(tiny_world, tiny_config):
+    generator = WorkloadGenerator(
+        default_profile(),
+        tiny_config,
+        candidate_locations(store.location for store in tiny_world.stores),
+    )
+    return generator.stream()
+
+
+@pytest.fixture()
+def tiny_portal(tiny_world, tiny_stream):
+    """A fresh in-process portal matching the tiny stream."""
+    return build_workload_portal(
+        tiny_world,
+        tiny_stream.active_users(),
+        datamarts=WORKLOAD_TENANTS[:2],
+    )
+
+
+def fresh_config(config, **overrides):
+    return dataclasses.replace(config, **overrides)

@@ -1,0 +1,128 @@
+"""Cohort blueprints: validation, round-trips, journal reverse-ETL."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reco.journal import WorkloadJournal
+from repro.workload import (
+    CohortSpec,
+    WorkloadProfile,
+    default_profile,
+    profile_from_journal,
+)
+
+
+class TestCohortSpec:
+    def test_empty_vocabulary_kinds_dropped_from_mix(self):
+        cohort = CohortSpec(
+            name="c", weight=1.0, queries=("SELECT 1",), layers=(), selections=()
+        )
+        weights = cohort.mix_weights()
+        assert "layer" not in weights
+        assert "selection" not in weights
+        assert weights["view"] > 0 and weights["query"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CohortSpec(name="c", weight=0.0, queries=("q",))
+        with pytest.raises(ReproError):
+            CohortSpec(name="c", weight=1.0, queries=())
+        with pytest.raises(ReproError):
+            CohortSpec(
+                name="c", weight=1.0, queries=("q",), query_weights=(1.0, 2.0)
+            )
+        with pytest.raises(ReproError):
+            CohortSpec(
+                name="c", weight=1.0, queries=("q",), mix=(("teleport", 1.0),)
+            )
+
+    def test_round_trip(self):
+        profile = default_profile()
+        back = WorkloadProfile.from_dict(profile.to_dict())
+        assert back == profile
+
+    def test_duplicate_cohort_names_rejected(self):
+        cohort = CohortSpec(name="dup", weight=1.0, queries=("q",))
+        with pytest.raises(ReproError):
+            WorkloadProfile(cohorts=(cohort, cohort))
+
+
+class TestDefaultProfile:
+    def test_three_cohorts_cover_the_event_vocabulary(self):
+        profile = default_profile()
+        assert {c.name for c in profile.cohorts} == {
+            "analysts",
+            "planners",
+            "wanderers",
+        }
+        analysts = profile.cohort("analysts")
+        assert analysts.layers and analysts.selections
+        assert analysts.anchor is not None
+        assert profile.cohort("wanderers").anchor is None
+
+
+def _journal_with_demo_shape() -> WorkloadJournal:
+    """The demo workload's journal shape, written directly: ana and
+    bruno share the roll-up + airport selection (bruno adds the city
+    query and the Airport layer), carla only runs noise queries."""
+    shared = "SELECT SUM(UnitSales) FROM Sales BY Product.Family"
+    city = "SELECT SUM(StoreSales) FROM Sales BY Store.City"
+    selection = (
+        "GeoMD.Store.City",
+        "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)<20km",
+    )
+    journal = WorkloadJournal()
+    for _ in range(3):
+        journal.record_query("sales", "ana", shared)
+    members = [("Store", "City", "Madrid")]
+    journal.record_selection("sales", "ana", selection[0], selection[1], members)
+    journal.record_query("sales", "bruno", shared)
+    journal.record_query("sales", "bruno", city)
+    journal.record_selection(
+        "sales", "bruno", selection[0], selection[1], members
+    )
+    journal.record_layer("sales", "bruno", "Airport")
+    journal.record_query(
+        "sales", "carla", "SELECT SUM(StoreCost) FROM Sales BY Time.Month"
+    )
+    journal.record_query(
+        "sales", "carla", "SELECT SUM(UnitSales) FROM Sales BY Customer.City"
+    )
+    return journal
+
+
+class TestProfileFromJournal:
+    def test_clusters_similar_users_and_separates_noise(self):
+        profile = profile_from_journal(_journal_with_demo_shape(), "sales")
+        by_origin = {cohort.origin_users: cohort for cohort in profile.cohorts}
+        assert ("ana", "bruno") in by_origin
+        assert ("carla",) in by_origin
+        together = by_origin[("ana", "bruno")]
+        assert together.weight == pytest.approx(2 / 3)
+        assert "Airport" in together.layers
+        assert together.selections
+
+    def test_query_weights_follow_observed_frequencies(self):
+        profile = profile_from_journal(_journal_with_demo_shape(), "sales")
+        cohort = next(
+            c for c in profile.cohorts if c.origin_users == ("ana", "bruno")
+        )
+        weights = dict(zip(cohort.queries, cohort.query_weights))
+        shared = "SELECT SUM(UnitSales) FROM Sales BY Product.Family"
+        city = "SELECT SUM(StoreSales) FROM Sales BY Store.City"
+        assert weights[shared] == 4.0  # ana 3x + bruno 1x
+        assert weights[city] == 1.0
+
+    def test_source_names_the_datamart(self):
+        profile = profile_from_journal(_journal_with_demo_shape(), "sales")
+        assert profile.source == "journal:sales"
+
+    def test_empty_journal_rejected(self):
+        with pytest.raises(ReproError):
+            profile_from_journal(WorkloadJournal(), "sales")
+
+    def test_similarity_one_splits_everyone(self):
+        profile = profile_from_journal(
+            _journal_with_demo_shape(), "sales", similarity=1.01
+        )
+        assert len(profile.cohorts) == 3
